@@ -1,0 +1,134 @@
+(* Benchmark harness.
+
+   Two things happen here:
+
+   1. The paper-reproduction output: every table and figure of the
+      evaluation section is regenerated and printed (simulated MICA2
+      cycles/seconds — the reproduction's actual results).
+
+   2. Bechamel benchmarks — one Test.make per table/figure plus substrate
+      microbenchmarks — measuring how long the *reproduction itself*
+      takes to produce each artifact on the host.
+
+   Usage: dune exec bench/main.exe [-- --quick] *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+(* --- part 1: regenerate the evaluation section -------------------------- *)
+
+let section name f =
+  Fmt.pr "@.=== %s ===@." name;
+  f ();
+  Format.pp_print_flush Format.std_formatter ()
+
+let fig6_points =
+  if quick then [ 2_000; 30_000; 90_000 ] else Workloads.Periodic.default_points
+
+let fig7_sizes = if quick then [ 10; 40; 80 ] else [ 10; 20; 30; 40; 50; 60; 80 ]
+let fig8_sizes = if quick then [ 10; 40 ] else [ 10; 20; 30; 40 ]
+
+let reproduce () =
+  section "Table I: feature comparison" (fun () ->
+      Workloads.Features.print Format.std_formatter ());
+  section "Table II: overhead of key operations (cycles)" (fun () ->
+      Workloads.Overhead.print Format.std_formatter (Workloads.Overhead.table ()));
+  section "Figure 4: code inflation of kernel benchmarks (bytes)" (fun () ->
+      Workloads.Kernel_bench.print_fig4 Format.std_formatter
+        (Workloads.Kernel_bench.fig4 ()));
+  section "Figure 5: execution time of kernel benchmarks" (fun () ->
+      Workloads.Kernel_bench.print_fig5 Format.std_formatter
+        (Workloads.Kernel_bench.fig5 ()));
+  section "Figure 6: PeriodicTask execution time and CPU utilization" (fun () ->
+      Workloads.Periodic.print_fig6 Format.std_formatter
+        (Workloads.Periodic.sweep fig6_points));
+  section "Figure 7: stack versatility vs binary-tree size" (fun () ->
+      Workloads.Versatility.print_fig7 Format.std_formatter
+        (Workloads.Versatility.fig7 fig7_sizes));
+  section "Figure 8: SenSmart vs LiteOS schedulable tasks" (fun () ->
+      Workloads.Versatility.print_fig8 Format.std_formatter
+        (Workloads.Versatility.fig8 fig8_sizes));
+  section "Figure 4 at compiler scale: minic-built benchmarks" (fun () ->
+      Workloads.Kernel_bench.print_fig4 Format.std_formatter
+        (Workloads.Kernel_bench.fig4_minic ()));
+  section "Concurrent PeriodicTask applications (Table I: SenSmart-only)" (fun () ->
+      Workloads.Periodic.print_multi Format.std_formatter
+        (Workloads.Periodic.multi (if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ])));
+  section "Ablation: grouped-rewriting optimizations (Section IV-C2)" (fun () ->
+      Workloads.Ablation.print_grouping Format.std_formatter
+        (Workloads.Ablation.grouping ()));
+  section "Ablation: software-trap period vs preemption latency" (fun () ->
+      Workloads.Ablation.print_trap Format.std_formatter
+        (Workloads.Ablation.trap_period_sweep ()));
+  section "Ablation: time-slice length" (fun () ->
+      Workloads.Ablation.print_slice Format.std_formatter
+        (Workloads.Ablation.slice_sweep ()))
+
+(* --- part 2: bechamel host-side benchmarks ------------------------------- *)
+
+(* Substrate microbenchmarks. *)
+let sim_image =
+  lazy (Sensmart.assemble (Programs.Lfsr_bench.program ~iters:2000 ()))
+
+let bench_simulator () =
+  ignore (Sensmart.run_native (Lazy.force sim_image))
+
+let bench_rewriter () =
+  ignore (Sensmart.rewrite (Lazy.force sim_image))
+
+let bench_kernel_boot () =
+  ignore (Sensmart.boot [ Lazy.force sim_image ])
+
+(* One test per reproduced artifact (scaled down so each run is short). *)
+let tests =
+  Test.make_grouped ~name:"sensmart"
+    [ Test.make ~name:"substrate/simulator-2k-lfsr"
+        (Staged.stage bench_simulator);
+      Test.make ~name:"substrate/rewriter" (Staged.stage bench_rewriter);
+      Test.make ~name:"substrate/kernel-boot" (Staged.stage bench_kernel_boot);
+      Test.make ~name:"table2/overhead"
+        (Staged.stage (fun () -> ignore (Workloads.Overhead.table ())));
+      Test.make ~name:"fig4/inflation"
+        (Staged.stage (fun () -> ignore (Workloads.Kernel_bench.fig4 ())));
+      Test.make ~name:"fig5/exec-time"
+        (Staged.stage (fun () -> ignore (Workloads.Kernel_bench.fig5 ())));
+      Test.make ~name:"fig6/periodic-point"
+        (Staged.stage (fun () ->
+             ignore (Workloads.Periodic.sweep ~activations:4 [ 20_000 ])));
+      Test.make ~name:"fig7/versatility-point"
+        (Staged.stage (fun () ->
+             ignore (Workloads.Versatility.fig7 ~window:500_000 ~k_cap:8 [ 20 ])));
+      Test.make ~name:"fig8/liteos-point"
+        (Staged.stage (fun () ->
+             ignore (Workloads.Versatility.fig8 ~window:500_000 ~k_cap:8 [ 20 ])));
+      Test.make ~name:"ablation/grouping"
+        (Staged.stage (fun () -> ignore (Workloads.Ablation.grouping ()))) ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:100
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  Fmt.pr "@.=== host-side cost of the reproduction (bechamel) ===@.";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
+         | _ -> Fmt.pr "%-40s (no estimate)@." name)
+
+let () =
+  Fmt.pr "SenSmart reproduction benchmark harness%s@."
+    (if quick then " (quick)" else "");
+  reproduce ();
+  run_bechamel ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,238 @@
+(* Command-line front end: disassemble, rewrite, and run the bundled
+   programs; regenerate the paper's tables and figures. *)
+
+open Cmdliner
+
+let lookup_image name =
+  match Workloads.Registry.find_image name with
+  | Some img -> img
+  | None ->
+    Fmt.epr "unknown program %s (try: %s)@." name
+      (String.concat ", " Workloads.Registry.names);
+    exit 1
+
+let prog_arg =
+  let doc = "Program name (see the list command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let progs_arg =
+  let doc = "Program names to run concurrently." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"PROGRAM" ~doc)
+
+(* list *)
+let list_cmd =
+  let run () =
+    List.iter print_endline Workloads.Registry.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled programs")
+    Term.(const run $ const ())
+
+(* disasm *)
+let disasm_cmd =
+  let naturalized =
+    Arg.(value & flag & info [ "naturalized"; "n" ]
+           ~doc:"Disassemble the SenSmart-rewritten image instead of the original.")
+  in
+  let run name naturalized =
+    let img = lookup_image name in
+    if naturalized then begin
+      let nat = Sensmart.rewrite img in
+      Fmt.pr "; %s naturalized: %d -> %d bytes (x%.2f), %d shift entries, %d trampolines (%d merged)@."
+        name (Asm.Image.total_bytes img)
+        (Rewriter.Naturalized.total_bytes nat)
+        (Rewriter.Naturalized.inflation nat)
+        nat.stats.shift_entries nat.stats.trampolines nat.stats.merged;
+      print_endline (Avr.Disasm.image nat.words)
+    end
+    else print_endline (Avr.Disasm.image img.words)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a program (original or naturalized)")
+    Term.(const run $ prog_arg $ naturalized)
+
+(* native *)
+let native_cmd =
+  let run name =
+    let img = lookup_image name in
+    let r = Sensmart.run_native img in
+    Fmt.pr "%s: %a in %d cycles (%.3f s), %d instructions, %.1f%% active@." name
+      Fmt.(option Machine.Cpu.pp_halt) r.halt r.cycles
+      (Avr.Cycles.to_seconds r.cycles) r.insns
+      (100. *. float_of_int r.active_cycles /. float_of_int (max 1 r.cycles))
+  in
+  Cmd.v (Cmd.info "native" ~doc:"Run one program bare-metal, no OS")
+    Term.(const run $ prog_arg)
+
+(* run (under SenSmart) *)
+let run_cmd =
+  let budget =
+    Arg.(value & opt int 200_000_000
+         & info [ "budget" ] ~doc:"Cycle budget for the whole run.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the kernel event log.")
+  in
+  let exec names budget trace =
+    let images = List.map lookup_image names in
+    let k = Sensmart.boot images in
+    k.log_events <- trace;
+    let stop = Sensmart.run ~max_cycles:budget k in
+    Fmt.pr "stopped: %a after %d cycles (%.3f s)@." Machine.Cpu.pp_stop stop
+      k.m.cycles (Avr.Cycles.to_seconds k.m.cycles);
+    Fmt.pr "traps=%d switches=%d relocations=%d (%d bytes) translations=%d@."
+      k.stats.traps k.stats.context_switches k.stats.relocations
+      k.stats.relocated_bytes k.stats.translations;
+    List.iter
+      (fun (t : Kernel.Task.t) ->
+        let status =
+          match t.status with
+          | Ready -> "ready"
+          | Sleeping _ -> "sleeping"
+          | Exited r -> "exited: " ^ r
+        in
+        Fmt.pr "task %d %-12s region [%04x,%04x) stack %4dB  %s@." t.id t.name
+          t.region.p_l t.region.p_u (Kernel.Task.stack_alloc t) status)
+      k.tasks;
+    if trace then
+      List.iter
+        (fun (e : Kernel.event) ->
+          match e with
+          | Switched { at; from_task; to_task } ->
+            Fmt.pr "%10d  switch %s -> %d@." at
+              (match from_task with Some i -> string_of_int i | None -> "-")
+              to_task
+          | Relocated { at; needy; delta; moved } ->
+            Fmt.pr "%10d  relocation: +%dB to task %d (%dB moved)@." at delta
+              needy moved
+          | Terminated { at; task; reason } ->
+            Fmt.pr "%10d  task %d stopped: %s@." at task reason
+          | Spawned { at; task; stack } ->
+            Fmt.pr "%10d  task %d spawned with %dB stack@." at task stack)
+        (Kernel.event_log k)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run programs concurrently under the SenSmart kernel")
+    Term.(const exec $ progs_arg $ budget $ trace)
+
+(* compile: minic source file -> run or disassemble *)
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc"
+           ~doc:"minic source file")
+  in
+  let action =
+    Arg.(value & opt (enum [ ("run", `Run); ("native", `Native); ("disasm", `Disasm) ])
+           `Run
+         & info [ "action"; "a" ] ~doc:"What to do with the program: run (SenSmart), native, disasm.")
+  in
+  let go file action =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let name = Filename.remove_extension (Filename.basename file) in
+    match Sensmart.compile_minic ~name src with
+    | exception (Minic.Lexer.Error e | Minic.Parser.Error e | Minic.Codegen.Error e) ->
+      Fmt.epr "%s: %s@." file e;
+      exit 1
+    | img ->
+      (match action with
+       | `Disasm -> print_endline (Avr.Disasm.image (Array.sub img.words 0 img.text_words))
+       | `Native ->
+         let r = Sensmart.run_native img in
+         Fmt.pr "%a in %d cycles (%.3f s)@." Fmt.(option Machine.Cpu.pp_halt) r.halt
+           r.cycles (Avr.Cycles.to_seconds r.cycles)
+       | `Run ->
+         let k = Sensmart.boot [ img ] in
+         let stop = Sensmart.run k in
+         Fmt.pr "%a after %d cycles; outcomes: %s@." Machine.Cpu.pp_stop stop
+           k.m.cycles
+           (String.concat ", "
+              (List.map (fun (n, r) -> n ^ ":" ^ r) (Kernel.outcomes k))))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile and run a minic source file")
+    Term.(const go $ file $ action)
+
+(* experiments *)
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps for a fast pass.")
+
+let experiment name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_arg)
+
+let table1 = experiment "table1" "Print Table I (feature comparison)"
+    (fun _ -> Workloads.Features.print Format.std_formatter ())
+
+let table2 = experiment "table2" "Measure Table II (overhead of key operations)"
+    (fun _ -> Workloads.Overhead.print Format.std_formatter (Workloads.Overhead.table ()))
+
+let fig4 = experiment "fig4" "Figure 4: code inflation of the kernel benchmarks"
+    (fun _ -> Workloads.Kernel_bench.print_fig4 Format.std_formatter
+        (Workloads.Kernel_bench.fig4 ()))
+
+let fig5 = experiment "fig5" "Figure 5: execution time of the kernel benchmarks"
+    (fun _ -> Workloads.Kernel_bench.print_fig5 Format.std_formatter
+        (Workloads.Kernel_bench.fig5 ()))
+
+let fig6 = experiment "fig6" "Figure 6: PeriodicTask time and CPU utilization"
+    (fun quick ->
+       let points =
+         if quick then [ 2_000; 30_000; 90_000 ] else Workloads.Periodic.default_points
+       in
+       Workloads.Periodic.print_fig6 Format.std_formatter
+         (Workloads.Periodic.sweep points))
+
+let fig7 = experiment "fig7" "Figure 7: stack versatility vs binary-tree size"
+    (fun quick ->
+       let sizes = if quick then [ 10; 40; 80 ] else [ 10; 20; 30; 40; 50; 60; 80 ] in
+       Workloads.Versatility.print_fig7 Format.std_formatter
+         (Workloads.Versatility.fig7 sizes))
+
+let fig8 = experiment "fig8" "Figure 8: SenSmart vs LiteOS schedulable tasks"
+    (fun quick ->
+       let sizes = if quick then [ 10; 40 ] else [ 10; 20; 30; 40 ] in
+       Workloads.Versatility.print_fig8 Format.std_formatter
+         (Workloads.Versatility.fig8 sizes))
+
+let all_cmd =
+  let run quick =
+    let pr name f =
+      Fmt.pr "@.=== %s ===@." name;
+      f quick
+    in
+    pr "Table I" (fun _ -> Workloads.Features.print Format.std_formatter ());
+    pr "Table II" (fun _ ->
+        Workloads.Overhead.print Format.std_formatter (Workloads.Overhead.table ()));
+    pr "Figure 4" (fun _ ->
+        Workloads.Kernel_bench.print_fig4 Format.std_formatter
+          (Workloads.Kernel_bench.fig4 ()));
+    pr "Figure 5" (fun _ ->
+        Workloads.Kernel_bench.print_fig5 Format.std_formatter
+          (Workloads.Kernel_bench.fig5 ()));
+    pr "Figure 6" (fun quick ->
+        let points =
+          if quick then [ 2_000; 30_000; 90_000 ]
+          else Workloads.Periodic.default_points
+        in
+        Workloads.Periodic.print_fig6 Format.std_formatter
+          (Workloads.Periodic.sweep points));
+    pr "Figure 7" (fun quick ->
+        let sizes = if quick then [ 10; 40; 80 ] else [ 10; 20; 30; 40; 50; 60; 80 ] in
+        Workloads.Versatility.print_fig7 Format.std_formatter
+          (Workloads.Versatility.fig7 sizes));
+    pr "Figure 8" (fun quick ->
+        let sizes = if quick then [ 10; 40 ] else [ 10; 20; 30; 40 ] in
+        Workloads.Versatility.print_fig8 Format.std_formatter
+          (Workloads.Versatility.fig8 sizes))
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(const run $ quick_arg)
+
+let () =
+  let info =
+    Cmd.info "sensmart" ~version:"1.0"
+      ~doc:"SenSmart (ICDCS 2010) reproduction: versatile stack management \
+            for multitasking sensor networks"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; disasm_cmd; native_cmd; run_cmd; compile_cmd; table1; table2; fig4;
+            fig5; fig6; fig7; fig8; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/binary_translation.ml: Array Asm Avr Fmt List Rewriter Sensmart

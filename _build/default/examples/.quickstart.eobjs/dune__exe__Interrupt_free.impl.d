@@ -1,0 +1,1 @@
+examples/interrupt_free.ml: Asm Avr Fmt Kernel List Liteos Machine Sensmart

@@ -1,0 +1,1 @@
+examples/minic_app.ml: Asm Fmt Kernel Machine Programs Rewriter Sensmart

@@ -1,0 +1,1 @@
+examples/network.ml: Array Avr Fmt Kernel Net Programs Sensmart

@@ -1,0 +1,1 @@
+examples/overcommit.ml: Asm Fmt Kernel List Liteos Machine Printf Sensmart

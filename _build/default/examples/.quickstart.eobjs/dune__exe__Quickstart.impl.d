@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Fmt Kernel Machine Sensmart Workloads

@@ -1,0 +1,1 @@
+examples/reprogram.ml: Asm Fmt Kernel List Machine Sensmart

@@ -1,0 +1,1 @@
+examples/sense_and_send.ml: Avr Fmt Kernel List Machine Printf Programs Sensmart

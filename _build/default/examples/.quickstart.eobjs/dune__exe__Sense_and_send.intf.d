@@ -1,0 +1,1 @@
+examples/sense_and_send.mli:

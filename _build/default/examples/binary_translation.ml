@@ -1,0 +1,39 @@
+(* A look inside the base-station rewriter: disassemble a program before
+   and after naturalization, show the shift table's address mapping, and
+   demonstrate trampoline merging.
+
+   Run with: dune exec examples/binary_translation.exe *)
+
+open Asm.Macros
+
+let demo =
+  Asm.Ast.program "demo"
+    ~data:[ { dname = "buf"; size = 4; init = [] } ]
+    ((lbl "start" :: sp_init)
+     @ ldi_data 26 27 "buf" 0
+     @ [ ldi 16 5;
+         lbl "loop"; st Avr.Isa.X_inc 16; dec 16; brne "loop";
+         call "helper"; call "helper"; break;
+         lbl "helper"; lds 24 "buf"; ret ])
+
+let () =
+  let img = Sensmart.assemble demo in
+  Fmt.pr "=== original (%d bytes) ===@.%s@.@." (Asm.Image.total_bytes img)
+    (Avr.Disasm.image (Array.sub img.words 0 img.text_words));
+  let nat = Sensmart.rewrite img in
+  Fmt.pr "=== naturalized (%d bytes, x%.2f) ===@."
+    (Rewriter.Naturalized.total_bytes nat)
+    (Rewriter.Naturalized.inflation nat);
+  Fmt.pr "patched %d instructions; %d trampoline bodies, %d requests merged@.@."
+    nat.stats.patched nat.stats.trampolines nat.stats.merged;
+  Fmt.pr "%s@.@." (Avr.Disasm.image nat.words);
+  Fmt.pr "=== shift table (%d entries) ===@." nat.stats.shift_entries;
+  Fmt.pr "original -> naturalized address samples:@.";
+  List.iter
+    (fun (name, sym) ->
+      match sym with
+      | Asm.Image.Text a ->
+        Fmt.pr "  %-8s %04x -> %04x@." name a
+          (Rewriter.Shift_table.to_naturalized nat.shift a)
+      | _ -> ())
+    img.symbols

@@ -1,0 +1,48 @@
+(* Reprogramming as an OS service (Section III-A): admit a new
+   application task while the system is running.  The kernel naturalizes
+   the image into free flash and carves its memory region out of the
+   running tasks' surplus stack space — a relocation in reverse.
+
+   Run with: dune exec examples/reprogram.exe *)
+
+open Asm.Macros
+
+let worker name n =
+  Asm.Ast.program name
+    ~data:[ { dname = "result"; size = 2; init = [] } ]
+    ((lbl "start" :: sp_init)
+     @ [ ldi 24 0; ldi 25 0; ldi 16 n;
+         lbl "top"; add 24 16; brcc "nc"; inc 25; lbl "nc";
+         dec 16; brne "top";
+         sts "result" 24; sts_off "result" 1 25; break ])
+
+let () =
+  (* Boot with one resident task and a spare TCB slot for the update. *)
+  let config = { Kernel.default_config with spare_tcbs = 2 } in
+  let k = Sensmart.boot ~config [ Sensmart.assemble (worker "resident" 50) ] in
+  Fmt.pr "booted with 1 task; app area tops out at 0x%04x@." k.app_limit;
+
+  (* "Over the air" arrives a new program: admit it live. *)
+  (match Kernel.spawn k (Sensmart.assemble (worker "update-1" 100)) with
+   | Ok t ->
+     Fmt.pr "spawned %s: region [0x%04x, 0x%04x), %dB stack@." t.name
+       t.region.p_l t.region.p_u (Kernel.Task.stack_alloc t)
+   | Error e -> Fmt.failwith "spawn: %s" e);
+  (match Kernel.spawn k (Sensmart.assemble (worker "update-2" 200)) with
+   | Ok t -> Fmt.pr "spawned %s@." t.name
+   | Error e -> Fmt.failwith "spawn: %s" e);
+
+  (* A third one must be refused: no TCB slot left. *)
+  (match Kernel.spawn k (Sensmart.assemble (worker "update-3" 5)) with
+   | Error e -> Fmt.pr "update-3 refused as expected: %s@." e
+   | Ok _ -> Fmt.failwith "should have been refused");
+
+  (match Sensmart.run k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Fmt.failwith "run: %a" Machine.Cpu.pp_stop s);
+  List.iteri
+    (fun i (t : Kernel.Task.t) ->
+      Fmt.pr "  %-10s result=%d@." t.name (Kernel.read_var k i "result"))
+    k.tasks;
+  Fmt.pr "relocations while carving: %d (%d bytes moved)@." k.stats.relocations
+    k.stats.relocated_bytes

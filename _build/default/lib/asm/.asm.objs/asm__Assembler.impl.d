@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Ast Avr Encode Hashtbl Image Isa List Printf

@@ -1,0 +1,1 @@
+lib/asm/macros.ml: Ast Avr Machine Printf

@@ -1,0 +1,188 @@
+(* Two-pass assembler with automatic branch relaxation.
+
+   Pass structure: statement sizes depend on whether a conditional branch
+   fits the 7-bit BRxx offset (or a relative jump fits the 12-bit RJMP
+   offset), which depends on label addresses, which depend on sizes — so
+   layout iterates to a fixpoint.  Relaxation is monotone (statements only
+   grow), hence termination. *)
+
+open Avr
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type layout = {
+  addrs : int array;  (* word address of each statement *)
+  labels : (string, int) Hashtbl.t;  (* label -> word address *)
+  relaxed : bool array;  (* per-statement long-form flag *)
+  total : int;  (* total text words *)
+}
+
+(* Size in words of a statement under the current relaxation choice. *)
+let stmt_size ~relaxed (s : Ast.stmt) =
+  match s with
+  | I i -> Isa.words i
+  | L _ -> 0
+  | Rjmp_l _ | Rcall_l _ -> if relaxed then 2 else 1
+  | Jmp_l _ | Call_l _ -> 2
+  | Br_l _ -> if relaxed then 3 else 1
+  | Ldi_data_lo _ | Ldi_data_hi _ | Ldi_text_lo _ | Ldi_text_hi _
+  | Ldi_flash_lo _ | Ldi_flash_hi _ -> 1
+  | Lds_l _ | Sts_l _ -> 2
+
+let compute_layout (prog : Ast.program) : layout =
+  let stmts = Array.of_list prog.text in
+  let n = Array.length stmts in
+  let relaxed = Array.make n false in
+  let addrs = Array.make n 0 in
+  let labels = Hashtbl.create 64 in
+  let place () =
+    Hashtbl.reset labels;
+    let a = ref 0 in
+    Array.iteri
+      (fun i s ->
+        addrs.(i) <- !a;
+        (match s with
+         | Ast.L name ->
+           if Hashtbl.mem labels name then
+             fail "%s: duplicate label %s" prog.name name;
+           Hashtbl.replace labels name !a
+         | _ -> ());
+        a := !a + stmt_size ~relaxed:relaxed.(i) s)
+      stmts;
+    !a
+  in
+  let target name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> fail "%s: undefined label %s" prog.name name
+  in
+  let rec iterate () =
+    let total = place () in
+    let changed = ref false in
+    Array.iteri
+      (fun i s ->
+        if not relaxed.(i) then
+          match s with
+          | Ast.Br_l (_, l) ->
+            let off = target l - (addrs.(i) + 1) in
+            if off < -64 || off > 63 then begin
+              relaxed.(i) <- true;
+              changed := true
+            end
+          | Ast.Rjmp_l l | Ast.Rcall_l l ->
+            let off = target l - (addrs.(i) + 1) in
+            if off < -2048 || off > 2047 then begin
+              relaxed.(i) <- true;
+              changed := true
+            end
+          | _ -> ())
+      stmts;
+    if !changed then iterate () else total
+  in
+  let total = iterate () in
+  { addrs; labels; relaxed; total }
+
+(* Allocate .data symbols upward from [data_base]. *)
+let layout_data ~data_base (prog : Ast.program) =
+  let tbl = Hashtbl.create 16 in
+  let init = ref [] in
+  let a = ref data_base in
+  List.iter
+    (fun (d : Ast.data_def) ->
+      if d.size <= 0 then fail "%s: data symbol %s has size %d" prog.name d.dname d.size;
+      if List.length d.init > d.size then
+        fail "%s: data symbol %s: init longer than size" prog.name d.dname;
+      if Hashtbl.mem tbl d.dname then fail "%s: duplicate data symbol %s" prog.name d.dname;
+      Hashtbl.replace tbl d.dname !a;
+      List.iteri (fun i b -> init := (!a + i, b land 0xFF) :: !init) d.init;
+      a := !a + d.size)
+    prog.data;
+  (tbl, List.rev !init, !a - data_base)
+
+let assemble ?(base = 0) ?(data_base = Image.heap_base) (prog : Ast.program) :
+    Image.t =
+  let lay = compute_layout prog in
+  let data_tbl, data_init, data_size = layout_data ~data_base prog in
+  (* Flash data goes right after the code. *)
+  let flash_tbl = Hashtbl.create 8 in
+  let flash_words =
+    let a = ref lay.total in
+    List.concat_map
+      (fun (f : Ast.flash_def) ->
+        if Hashtbl.mem flash_tbl f.fname then
+          fail "%s: duplicate flash symbol %s" prog.name f.fname;
+        Hashtbl.replace flash_tbl f.fname (base + !a);
+        a := !a + List.length f.fwords;
+        List.map (fun w -> w land 0xFFFF) f.fwords)
+      prog.flash_data
+  in
+  let text_addr name =
+    match Hashtbl.find_opt lay.labels name with
+    | Some a -> base + a
+    | None -> fail "%s: undefined label %s" prog.name name
+  in
+  let data_addr name off =
+    match Hashtbl.find_opt data_tbl name with
+    | Some a -> a + off
+    | None -> fail "%s: undefined data symbol %s" prog.name name
+  in
+  let flash_byte_addr name =
+    match Hashtbl.find_opt flash_tbl name with
+    | Some a -> 2 * a
+    | None -> fail "%s: undefined flash symbol %s" prog.name name
+  in
+  let stmts = Array.of_list prog.text in
+  let buf = ref [] in
+  let emit i = List.iter (fun w -> buf := w :: !buf) (Encode.words i) in
+  Array.iteri
+    (fun idx s ->
+      let here = lay.addrs.(idx) in
+      match (s : Ast.stmt) with
+      | I i -> emit i
+      | L _ -> ()
+      | Rjmp_l l ->
+        if lay.relaxed.(idx) then emit (Jmp (text_addr l))
+        else emit (Rjmp (text_addr l - base - (here + 1)))
+      | Rcall_l l ->
+        if lay.relaxed.(idx) then emit (Call (text_addr l))
+        else emit (Rcall (text_addr l - base - (here + 1)))
+      | Jmp_l l -> emit (Jmp (text_addr l))
+      | Call_l l -> emit (Call (text_addr l))
+      | Br_l (c, l) ->
+        let bit, if_set = Ast.cond_bits c in
+        if lay.relaxed.(idx) then begin
+          (* Inverted short branch over a long jump. *)
+          emit (if if_set then Brbc (bit, 2) else Brbs (bit, 2));
+          emit (Jmp (text_addr l))
+        end
+        else begin
+          let off = text_addr l - base - (here + 1) in
+          emit (if if_set then Brbs (bit, off) else Brbc (bit, off))
+        end
+      | Ldi_data_lo (r, s, off) -> emit (Ldi (r, data_addr s off land 0xFF))
+      | Ldi_data_hi (r, s, off) -> emit (Ldi (r, (data_addr s off lsr 8) land 0xFF))
+      | Ldi_text_lo (r, l) -> emit (Ldi (r, text_addr l land 0xFF))
+      | Ldi_text_hi (r, l) -> emit (Ldi (r, (text_addr l lsr 8) land 0xFF))
+      | Ldi_flash_lo (r, s) -> emit (Ldi (r, flash_byte_addr s land 0xFF))
+      | Ldi_flash_hi (r, s) -> emit (Ldi (r, (flash_byte_addr s lsr 8) land 0xFF))
+      | Lds_l (r, s, off) -> emit (Lds (r, data_addr s off))
+      | Sts_l (s, off, r) -> emit (Sts (data_addr s off, r)))
+    stmts;
+  let text = List.rev !buf in
+  if List.length text <> lay.total then
+    fail "%s: layout/%d emission/%d mismatch" prog.name lay.total (List.length text);
+  let words = Array.of_list (text @ flash_words) in
+  let symbols =
+    Hashtbl.fold (fun k v acc -> (k, Image.Text (base + v)) :: acc) lay.labels []
+    @ Hashtbl.fold (fun k v acc -> (k, Image.Data v) :: acc) data_tbl []
+    @ Hashtbl.fold (fun k v acc -> (k, Image.Flash v) :: acc) flash_tbl []
+  in
+  let entry =
+    match Hashtbl.find_opt lay.labels "start" with
+    | Some a -> base + a
+    | None -> base
+  in
+  { Image.name = prog.name; words; text_words = lay.total; symbols;
+    data_size; data_init; entry }

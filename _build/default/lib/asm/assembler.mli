@@ -1,0 +1,15 @@
+(** Two-pass assembler with automatic branch relaxation.
+
+    Conditional branches out of the 7-bit BRxx range relax to an
+    inverted branch over a JMP; relative jumps/calls out of the 12-bit
+    range relax to JMP/CALL.  Layout iterates to a fixpoint (relaxation
+    is monotone). *)
+
+exception Error of string
+
+(** [assemble ?base ?data_base program] lays the program out at flash
+    word address [base] (default 0) with its data section at
+    [data_base] (default {!Image.heap_base}) and returns the image with
+    its symbol list.  Raises {!Error} on duplicate or undefined labels
+    and malformed data definitions. *)
+val assemble : ?base:int -> ?data_base:int -> Ast.program -> Image.t

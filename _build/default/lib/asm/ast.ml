@@ -1,0 +1,62 @@
+(* Source form of a sensornet program: a list of statements whose
+   control-flow and address operands refer to labels, plus data and
+   read-only (flash) data sections.  This stands in for the nesC/avr-gcc
+   toolchain of the paper: what matters downstream is its output — a
+   binary image with a symbol list. *)
+
+type cond = Eq | Ne | Cs | Cc | Lt | Ge | Mi | Pl
+
+(* (sreg bit, branch-if-set) for each condition alias. *)
+let cond_bits = function
+  | Eq -> (Avr.Isa.bit_z, true)
+  | Ne -> (Avr.Isa.bit_z, false)
+  | Cs -> (Avr.Isa.bit_c, true)
+  | Cc -> (Avr.Isa.bit_c, false)
+  | Lt -> (Avr.Isa.bit_s, true)
+  | Ge -> (Avr.Isa.bit_s, false)
+  | Mi -> (Avr.Isa.bit_n, true)
+  | Pl -> (Avr.Isa.bit_n, false)
+
+type stmt =
+  | I of Avr.Isa.t  (** A concrete instruction with resolved operands. *)
+  | L of string  (** Label definition. *)
+  | Rjmp_l of string
+  | Rcall_l of string
+  | Jmp_l of string
+  | Call_l of string
+  | Br_l of cond * string
+      (** Conditional branch to a label; automatically relaxed to an
+          inverted branch over a JMP when out of BRxx range. *)
+  | Ldi_data_lo of int * string * int
+  | Ldi_data_hi of int * string * int
+      (** Load a byte of a data-space symbol's address (+ offset). *)
+  | Ldi_text_lo of int * string
+  | Ldi_text_hi of int * string
+      (** Load a byte of a code label's word address (function pointers,
+          resolved at runtime by IJMP/ICALL translation under SenSmart). *)
+  | Ldi_flash_lo of int * string
+  | Ldi_flash_hi of int * string
+      (** Load a byte of a flash-data symbol's *byte* address, for LPM. *)
+  | Lds_l of int * string * int  (** Direct load from a data symbol + offset. *)
+  | Sts_l of string * int * int  (** Direct store to a data symbol + offset. *)
+
+type data_def = {
+  dname : string;
+  size : int;  (** bytes *)
+  init : int list;  (** initial bytes; zero-padded to [size] *)
+}
+
+type flash_def = {
+  fname : string;
+  fwords : int list;  (** 16-bit words placed in flash after the code *)
+}
+
+type program = {
+  name : string;
+  text : stmt list;
+  data : data_def list;  (** allocated upward from the logical heap base *)
+  flash_data : flash_def list;
+}
+
+let program ?(data = []) ?(flash_data = []) name text =
+  { name; text; data; flash_data }

@@ -1,0 +1,30 @@
+(* Output of the assembler: a flash image plus the symbol list.  This is
+   exactly what the paper's rewriter consumes from the build — "the
+   binary code and the memory usage information contained in the symbol
+   list" (Section III-B). *)
+
+type symbol =
+  | Text of int  (** code label: flash word address *)
+  | Data of int  (** data-space symbol: logical data address *)
+  | Flash of int  (** flash-data symbol: flash word address *)
+
+type t = {
+  name : string;
+  words : int array;  (** full flash image: code, then flash data *)
+  text_words : int;  (** words below this boundary are instructions *)
+  symbols : (string * symbol) list;
+  data_size : int;  (** bytes of .data/.bss — the task's heap usage *)
+  data_init : (int * int) list;  (** (logical data address, byte) at startup *)
+  entry : int;  (** word address of the entry point *)
+}
+
+(** Logical address where the heap (.data) begins, matching where
+    avr-gcc places .data on a 4 KB ATmega and Figure 2 of the paper. *)
+let heap_base = 0x100
+
+let find_symbol img name = List.assoc_opt name img.symbols
+
+(** Code size in bytes (the "native size" axis of Figure 4). *)
+let text_bytes img = 2 * img.text_words
+
+let total_bytes img = 2 * Array.length img.words

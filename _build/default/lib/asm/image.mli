@@ -1,0 +1,27 @@
+(** Output of the assembler: flash image plus the symbol list — exactly
+    what the paper's base-station rewriter consumes from the build. *)
+
+type symbol =
+  | Text of int  (** code label: flash word address *)
+  | Data of int  (** data-space symbol: logical data address *)
+  | Flash of int  (** flash-data symbol: flash word address *)
+
+type t = {
+  name : string;
+  words : int array;  (** full flash image: code, then flash data *)
+  text_words : int;  (** words below this boundary are instructions *)
+  symbols : (string * symbol) list;
+  data_size : int;  (** bytes of .data — the task's heap usage *)
+  data_init : (int * int) list;  (** (logical address, byte) at startup *)
+  entry : int;  (** word address of the entry point *)
+}
+
+(** Logical address where the heap (.data) begins (Figure 2). *)
+val heap_base : int
+
+val find_symbol : t -> string -> symbol option
+
+(** Code size in bytes (Figure 4's "native" axis). *)
+val text_bytes : t -> int
+
+val total_bytes : t -> int

@@ -1,0 +1,151 @@
+(* Readable statement constructors and the calling-convention macros used
+   by every benchmark program.
+
+   Register conventions mirror avr-gcc: Y (r28:29) is the frame pointer,
+   r24:25 carries 16-bit arguments/results, r16..r23 are caller scratch.
+   A frame function's locals live at Y+1 .. Y+frame. *)
+
+open Ast
+
+let i x = I x
+let lbl s = L s
+let nop = I Avr.Isa.Nop
+let ldi r k = I (Avr.Isa.Ldi (r, k land 0xFF))
+let mov d r = I (Avr.Isa.Mov (d, r))
+let movw d r = I (Avr.Isa.Movw (d, r))
+let add d r = I (Avr.Isa.Add (d, r))
+let adc d r = I (Avr.Isa.Adc (d, r))
+let sub d r = I (Avr.Isa.Sub (d, r))
+let sbc d r = I (Avr.Isa.Sbc (d, r))
+let subi d k = I (Avr.Isa.Subi (d, k land 0xFF))
+let sbci d k = I (Avr.Isa.Sbci (d, k land 0xFF))
+let andi d k = I (Avr.Isa.Andi (d, k land 0xFF))
+let ori d k = I (Avr.Isa.Ori (d, k land 0xFF))
+let and_ d r = I (Avr.Isa.And (d, r))
+let or_ d r = I (Avr.Isa.Or (d, r))
+let eor d r = I (Avr.Isa.Eor (d, r))
+let com d = I (Avr.Isa.Com d)
+let neg d = I (Avr.Isa.Neg d)
+let inc d = I (Avr.Isa.Inc d)
+let dec d = I (Avr.Isa.Dec d)
+let lsr_ d = I (Avr.Isa.Lsr d)
+let asr_ d = I (Avr.Isa.Asr d)
+let ror d = I (Avr.Isa.Ror d)
+let swap d = I (Avr.Isa.Swap d)
+let mul d r = I (Avr.Isa.Mul (d, r))
+let cp d r = I (Avr.Isa.Cp (d, r))
+let cpc d r = I (Avr.Isa.Cpc (d, r))
+let cpi d k = I (Avr.Isa.Cpi (d, k land 0xFF))
+let adiw d k = I (Avr.Isa.Adiw (d, k))
+let sbiw d k = I (Avr.Isa.Sbiw (d, k))
+let ld d p = I (Avr.Isa.Ld (d, p))
+let ldd d b q = I (Avr.Isa.Ldd (d, b, q))
+let st p r = I (Avr.Isa.St (p, r))
+let std b q r = I (Avr.Isa.Std (b, q, r))
+let lds r s = Lds_l (r, s, 0)
+let lds_off r s off = Lds_l (r, s, off)
+let sts s r = Sts_l (s, 0, r)
+let sts_off s off r = Sts_l (s, off, r)
+let lpm d ~inc = I (Avr.Isa.Lpm (d, inc))
+let push r = I (Avr.Isa.Push r)
+let pop r = I (Avr.Isa.Pop r)
+let in_ d a = I (Avr.Isa.In (d, a))
+let out a r = I (Avr.Isa.Out (a, r))
+let rjmp l = Rjmp_l l
+let rcall l = Rcall_l l
+let jmp l = Jmp_l l
+let call l = Call_l l
+let br c l = Br_l (c, l)
+let breq l = Br_l (Eq, l)
+let brne l = Br_l (Ne, l)
+let brcs l = Br_l (Cs, l)
+let brcc l = Br_l (Cc, l)
+let brlt l = Br_l (Lt, l)
+let brge l = Br_l (Ge, l)
+let brmi l = Br_l (Mi, l)
+let brpl l = Br_l (Pl, l)
+let ijmp = I Avr.Isa.Ijmp
+let icall = I Avr.Isa.Icall
+let ret = I Avr.Isa.Ret
+let sleep = I Avr.Isa.Sleep
+let break = I Avr.Isa.Break
+
+(** Load a 16-bit constant into a register pair (lo, hi). *)
+let ldi16 rlo rhi v = [ ldi rlo (v land 0xFF); ldi rhi ((v lsr 8) land 0xFF) ]
+
+(** Load a data symbol's logical address into a pointer pair. *)
+let ldi_data rlo rhi sym off =
+  [ Ldi_data_lo (rlo, sym, off); Ldi_data_hi (rhi, sym, off) ]
+
+let ldi_flash rlo rhi sym = [ Ldi_flash_lo (rlo, sym); Ldi_flash_hi (rhi, sym) ]
+let ldi_text rlo rhi label = [ Ldi_text_lo (rlo, label); Ldi_text_hi (rhi, label) ]
+
+(** [sp_init_at top]: initialize SP to [top], as crt0 does.  Under
+    SenSmart the OUTs are rewritten into set-SP translations. *)
+let sp_init_at top =
+  [ ldi 16 (top land 0xFF); out Machine.Io.spl 16;
+    ldi 16 ((top lsr 8) land 0xFF); out Machine.Io.sph 16 ]
+
+(** Preamble for a program that owns the whole logical RAM. *)
+let sp_init = sp_init_at (Machine.Layout.data_size - 1)
+
+(* Fresh-label supply for macro-generated control flow. *)
+let counter = ref 0
+let fresh prefix =
+  incr counter;
+  Printf.sprintf ".%s_%d" prefix !counter
+
+(** [fn name ~frame body]: a function with [frame] bytes of locals
+    addressed at Y+1 .. Y+frame.  The prologue/epilogue follow the
+    avr-gcc shape (push Y, copy SP to Y, move SP), which is precisely the
+    SP-mutating pattern SenSmart's stack-check rewriting targets. *)
+let fn name ~frame body =
+  if frame > 63 then invalid_arg "fn: frame larger than LDD displacement range";
+  [ lbl name; push 28; push 29;
+    in_ 28 Machine.Io.spl; in_ 29 Machine.Io.sph ]
+  @ (if frame > 0 then [ sbiw 28 frame; out Machine.Io.spl 28; out Machine.Io.sph 29 ] else [])
+  @ body
+  @ (if frame > 0 then [ adiw 28 frame; out Machine.Io.spl 28; out Machine.Io.sph 29 ] else [])
+  @ [ pop 29; pop 28; ret ]
+
+(** A leaf function with no frame: label + body + ret. *)
+let leaf name body = (lbl name :: body) @ [ ret ]
+
+(** [loop_n r n body]: repeat [body] [n] times (1..256) using register
+    [r] as the counter. *)
+let loop_n r n body =
+  let top = fresh "loop" in
+  (ldi r (n land 0xFF) :: lbl top :: body) @ [ dec r; brne top ]
+
+(** [loop16 rlo rhi n body]: repeat [body] [n] times with a 16-bit
+    counter in (rlo, rhi); rlo must be >= 16 for SUBI/SBCI. *)
+let loop16 rlo rhi n body =
+  let top = fresh "loop16" in
+  ldi16 rlo rhi n
+  @ (lbl top :: body)
+  @ [ subi rlo 1; sbci rhi 0; brne top ]
+
+(* --- device idioms ------------------------------------------------------ *)
+
+(** Busy-wait until the radio can accept a byte, then transmit [reg].
+    Clobbers r16. *)
+let radio_send reg =
+  let wait = fresh "txwait" in
+  [ lbl wait; in_ 16 Machine.Io.radio_status; andi 16 Machine.Io.tx_ready_bit;
+    breq wait; out Machine.Io.radio_data reg ]
+
+(** Start an ADC conversion, poll until complete, and leave the 10-bit
+    sample in r25:r24 — the polling idiom of TinyOS drivers.  Clobbers
+    r16. *)
+let adc_sample =
+  let wait = fresh "adcwait" in
+  [ ldi 16 (Machine.Io.aden_bit lor Machine.Io.adsc_bit);
+    out Machine.Io.adcsra 16;
+    lbl wait; in_ 16 Machine.Io.adcsra; andi 16 Machine.Io.adsc_bit;
+    brne wait;
+    in_ 24 Machine.Io.adcl; in_ 25 Machine.Io.adch ]
+
+(** Read the 16-bit global clock (Timer3) into (rlo, rhi).  Under
+    SenSmart the pair is intercepted and served by the kernel. *)
+let read_timer3 rlo rhi =
+  [ in_ rlo Machine.Io.tcnt3l; in_ rhi Machine.Io.tcnt3h ]

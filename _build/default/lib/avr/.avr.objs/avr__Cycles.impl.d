@@ -1,0 +1,1 @@
+lib/avr/cycles.pp.ml: Isa

@@ -1,0 +1,1 @@
+lib/avr/decode.pp.ml: Array Isa List

@@ -1,0 +1,1 @@
+lib/avr/disasm.pp.ml: Decode Isa List Printf String

@@ -1,0 +1,1 @@
+lib/avr/disasm.pp.mli: Isa

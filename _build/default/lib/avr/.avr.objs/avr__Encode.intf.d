@@ -1,0 +1,1 @@
+lib/avr/encode.pp.mli: Isa

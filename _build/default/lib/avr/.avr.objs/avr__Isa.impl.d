@@ -1,0 +1,1 @@
+lib/avr/isa.pp.ml: Ppx_deriving_runtime

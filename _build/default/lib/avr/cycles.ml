@@ -1,0 +1,28 @@
+(* Instruction timing per the ATmega128 datasheet.  [base] is the cost
+   when a conditional branch is not taken; the machine adds
+   [branch_taken_extra] when it is.  These numbers drive every cycle
+   figure in the reproduction (Table II, Figures 5-6). *)
+
+let base : Isa.t -> int = function
+  | Nop | Movw _ | Add _ | Adc _ | Sub _ | Sbc _ | And _ | Or _ | Eor _
+  | Mov _ | Cp _ | Cpc _ | Cpi _ | Sbci _ | Subi _ | Ori _ | Andi _ | Ldi _
+  | Com _ | Neg _ | Swap _ | Inc _ | Dec _ | Asr _ | Lsr _ | Ror _
+  | In _ | Out _ | Bset _ | Bclr _ | Sleep | Break | Wdr | Brbs _ | Brbc _
+  | Syscall _ -> 1
+  | Mul _ | Adiw _ | Sbiw _ -> 2
+  | Ld _ | Ldd _ | St _ | Std _ | Lds _ | Sts _ | Push _ | Pop _ -> 2
+  | Lpm _ -> 3
+  | Rjmp _ | Ijmp -> 2
+  | Rcall _ | Icall -> 3
+  | Jmp _ -> 3
+  | Call _ -> 4
+  | Ret | Reti -> 4
+
+(** Extra cycle consumed by a taken conditional branch. *)
+let branch_taken_extra = 1
+
+(** MICA2 system clock, Hz (7.3728 MHz crystal). *)
+let clock_hz = 7_372_800.
+
+(** Convert a cycle count to seconds of MICA2 wall-clock time. *)
+let to_seconds cycles = float_of_int cycles /. clock_hz

@@ -1,0 +1,13 @@
+(** Instruction timing per the ATmega128 datasheet. *)
+
+(** Cost when a conditional branch is not taken. *)
+val base : Isa.t -> int
+
+(** Extra cycle consumed by a taken conditional branch. *)
+val branch_taken_extra : int
+
+(** MICA2 system clock, Hz (7.3728 MHz). *)
+val clock_hz : float
+
+(** Convert a cycle count to seconds of mote wall-clock time. *)
+val to_seconds : int -> float

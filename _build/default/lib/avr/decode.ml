@@ -1,0 +1,150 @@
+(* Binary decoder: inverse of {!Encode}.  The decoder only accepts the
+   opcodes of the implemented subset; anything else raises
+   [Unknown_opcode], which the simulator reports as an invalid
+   instruction (the same treatment SenSmart gives an out-of-bounds
+   access). *)
+
+exception Unknown_opcode of int
+
+let sign_extend width v =
+  let bit = 1 lsl (width - 1) in
+  if v land bit <> 0 then v - (1 lsl width) else v
+
+(* Destination register of the common dddd-d field (bits 8..4). *)
+let dreg w = (w lsr 4) land 0x1F
+
+(* Source register of the two-register format (bit 9 + bits 3..0). *)
+let sreg w = ((w lsr 5) land 0x10) lor (w land 0x0F)
+
+let imm8 w = ((w lsr 4) land 0xF0) lor (w land 0x0F)
+let regi w = 16 + ((w lsr 4) land 0x0F)
+
+let decode_ldst_single ~next w : Isa.t * int =
+  (* 1001 00sd dddd subb family: LDS/STS, LD/ST with X/Y/Z modes,
+     LPM, PUSH/POP. *)
+  let d = dreg w in
+  let store = w land 0x0200 <> 0 in
+  match w land 0x000F with
+  | 0x0 ->
+    if store then (Sts (next (), d), 2) else (Lds (d, next ()), 2)
+  | 0x1 -> ((if store then St (Z_inc, d) else Ld (d, Z_inc)), 1)
+  | 0x2 -> ((if store then St (Z_dec, d) else Ld (d, Z_dec)), 1)
+  | 0x4 when not store -> (Lpm (d, false), 1)
+  | 0x5 when not store -> (Lpm (d, true), 1)
+  | 0x9 -> ((if store then St (Y_inc, d) else Ld (d, Y_inc)), 1)
+  | 0xA -> ((if store then St (Y_dec, d) else Ld (d, Y_dec)), 1)
+  | 0xC -> ((if store then St (X, d) else Ld (d, X)), 1)
+  | 0xD -> ((if store then St (X_inc, d) else Ld (d, X_inc)), 1)
+  | 0xE -> ((if store then St (X_dec, d) else Ld (d, X_dec)), 1)
+  | 0xF -> ((if store then Push d else Pop d), 1)
+  | _ -> raise (Unknown_opcode w)
+
+let decode_misc ~next w : Isa.t * int =
+  (* 1001 010x family: one-register ops, JMP/CALL, SREG bit ops, and the
+     fixed-encoding instructions. *)
+  match w with
+  | 0x9409 -> (Ijmp, 1)
+  | 0x9509 -> (Icall, 1)
+  | 0x9508 -> (Ret, 1)
+  | 0x9518 -> (Reti, 1)
+  | 0x9588 -> (Sleep, 1)
+  | 0x9598 -> (Break, 1)
+  | 0x95A8 -> (Wdr, 1)
+  | _ ->
+    if w land 0xFF8F = 0x9408 then (Bset ((w lsr 4) land 7), 1)
+    else if w land 0xFF8F = 0x9488 then (Bclr ((w lsr 4) land 7), 1)
+    else if w land 0xFE0E = 0x940C then
+      let hi = (((w lsr 4) land 0x1F) lsl 1) lor (w land 1) in
+      (Jmp ((hi lsl 16) lor next ()), 2)
+    else if w land 0xFE0E = 0x940E then
+      let hi = (((w lsr 4) land 0x1F) lsl 1) lor (w land 1) in
+      (Call ((hi lsl 16) lor next ()), 2)
+    else
+      let d = dreg w in
+      (match w land 0x000F with
+       | 0x0 -> (Com d, 1)
+       | 0x1 -> (Neg d, 1)
+       | 0x2 -> (Swap d, 1)
+       | 0x3 -> (Inc d, 1)
+       | 0x5 -> (Asr d, 1)
+       | 0x6 -> (Lsr d, 1)
+       | 0x7 -> (Ror d, 1)
+       | 0xA -> (Dec d, 1)
+       | _ -> raise (Unknown_opcode w))
+
+let decode_displacement w : Isa.t =
+  let d = dreg w in
+  let q = (w land 0x07) lor ((w lsr 7) land 0x18) lor ((w lsr 8) land 0x20) in
+  let base = if w land 0x0008 <> 0 then Isa.Ybase else Isa.Zbase in
+  if w land 0x0200 <> 0 then Std (base, q, d) else Ldd (d, base, q)
+
+(** [at fetch pc] decodes the instruction starting at word address [pc];
+    [fetch a] must return the 16-bit program word at [a].  Returns the
+    instruction and its size in words. *)
+let at (fetch : int -> int) (pc : int) : Isa.t * int =
+  let w = fetch pc in
+  let next () = fetch (pc + 1) in
+  match w lsr 12 with
+  | 0x0 ->
+    if w = 0x0000 then (Nop, 1)
+    else if w land 0xFF00 = 0x0100 then
+      (Movw (((w lsr 4) land 0xF) * 2, (w land 0xF) * 2), 1)
+    else (match w land 0x0C00 with
+      | 0x0400 -> (Cpc (dreg w, sreg w), 1)
+      | 0x0800 -> (Sbc (dreg w, sreg w), 1)
+      | 0x0C00 -> (Add (dreg w, sreg w), 1)
+      | _ -> raise (Unknown_opcode w))
+  | 0x1 ->
+    (match w land 0x0C00 with
+     | 0x0400 -> (Cp (dreg w, sreg w), 1)
+     | 0x0800 -> (Sub (dreg w, sreg w), 1)
+     | 0x0C00 -> (Adc (dreg w, sreg w), 1)
+     | _ -> raise (Unknown_opcode w))
+  | 0x2 ->
+    (match w land 0x0C00 with
+     | 0x0000 -> (And (dreg w, sreg w), 1)
+     | 0x0400 -> (Eor (dreg w, sreg w), 1)
+     | 0x0800 -> (Or (dreg w, sreg w), 1)
+     | _ -> (Mov (dreg w, sreg w), 1))
+  | 0x3 -> (Cpi (regi w, imm8 w), 1)
+  | 0x4 -> (Sbci (regi w, imm8 w), 1)
+  | 0x5 -> (Subi (regi w, imm8 w), 1)
+  | 0x6 -> (Ori (regi w, imm8 w), 1)
+  | 0x7 -> (Andi (regi w, imm8 w), 1)
+  | 0x8 | 0xA -> (decode_displacement w, 1)
+  | 0x9 ->
+    (match w land 0x0F00 with
+     | 0x0000 | 0x0100 | 0x0200 | 0x0300 -> decode_ldst_single ~next w
+     | 0x0400 | 0x0500 -> decode_misc ~next w
+     | 0x0600 ->
+       (Adiw (24 + 2 * ((w lsr 4) land 3), (w land 0xF) lor ((w lsr 2) land 0x30)), 1)
+     | 0x0700 ->
+       (Sbiw (24 + 2 * ((w lsr 4) land 3), (w land 0xF) lor ((w lsr 2) land 0x30)), 1)
+     | 0x0C00 | 0x0D00 | 0x0E00 | 0x0F00 -> (Mul (dreg w, sreg w), 1)
+     | _ -> raise (Unknown_opcode w))
+  | 0xB ->
+    let a = (w land 0xF) lor ((w lsr 5) land 0x30) in
+    if w land 0x0800 <> 0 then (Out (a, dreg w), 1) else (In (dreg w, a), 1)
+  | 0xC -> (Rjmp (sign_extend 12 (w land 0xFFF)), 1)
+  | 0xD -> (Rcall (sign_extend 12 (w land 0xFFF)), 1)
+  | 0xE -> (Ldi (regi w, imm8 w), 1)
+  | 0xF ->
+    if w land 0xFF08 = 0xFF08 then
+      (Syscall ((((w lsr 4) land 0xF) lsl 3) lor (w land 7)), 1)
+    else if w land 0x0C00 = 0x0000 then
+      (Brbs (w land 7, sign_extend 7 ((w lsr 3) land 0x7F)), 1)
+    else if w land 0x0C00 = 0x0400 then
+      (Brbc (w land 7, sign_extend 7 ((w lsr 3) land 0x7F)), 1)
+    else raise (Unknown_opcode w)
+  | _ -> raise (Unknown_opcode w)
+
+(** Decode a full program image into an instruction list (with word
+    addresses), skipping over the second word of 32-bit instructions. *)
+let program (image : int array) : (int * Isa.t) list =
+  let rec go pc acc =
+    if pc >= Array.length image then List.rev acc
+    else
+      let insn, size = at (Array.get image) pc in
+      go (pc + size) ((pc, insn) :: acc)
+  in
+  go 0 []

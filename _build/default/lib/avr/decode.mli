@@ -1,0 +1,12 @@
+(** Binary decoder: inverse of {!Encode}, accepting only the implemented
+    subset. *)
+
+exception Unknown_opcode of int
+
+(** [at fetch pc] decodes the instruction starting at word address [pc];
+    [fetch a] must return the program word at [a].  Returns the
+    instruction and its size in words. *)
+val at : (int -> int) -> int -> Isa.t * int
+
+(** Decode a full image into (address, instruction) pairs. *)
+val program : int array -> (int * Isa.t) list

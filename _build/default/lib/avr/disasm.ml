@@ -1,0 +1,95 @@
+(* Human-readable disassembly, in conventional AVR mnemonic syntax.  Used
+   by the CLI's [disasm] command and by test failure messages. *)
+
+let ptr_name = function
+  | Isa.X -> "X"
+  | X_inc -> "X+"
+  | X_dec -> "-X"
+  | Y_inc -> "Y+"
+  | Y_dec -> "-Y"
+  | Z_inc -> "Z+"
+  | Z_dec -> "-Z"
+
+let base_name = function Isa.Ybase -> "Y" | Isa.Zbase -> "Z"
+
+(* BRBS/BRBC with the conventional aliases for the common SREG bits. *)
+let branch_name ~set s =
+  match (set, s) with
+  | true, 0 -> "brcs"
+  | true, 1 -> "breq"
+  | true, 2 -> "brmi"
+  | true, 4 -> "brlt"
+  | false, 0 -> "brcc"
+  | false, 1 -> "brne"
+  | false, 2 -> "brpl"
+  | false, 4 -> "brge"
+  | true, _ -> Printf.sprintf "brbs %d," s
+  | false, _ -> Printf.sprintf "brbc %d," s
+
+let to_string (i : Isa.t) : string =
+  let p = Printf.sprintf in
+  match i with
+  | Nop -> "nop"
+  | Movw (d, r) -> p "movw r%d, r%d" d r
+  | Add (d, r) -> p "add r%d, r%d" d r
+  | Adc (d, r) -> p "adc r%d, r%d" d r
+  | Sub (d, r) -> p "sub r%d, r%d" d r
+  | Sbc (d, r) -> p "sbc r%d, r%d" d r
+  | And (d, r) -> p "and r%d, r%d" d r
+  | Or (d, r) -> p "or r%d, r%d" d r
+  | Eor (d, r) -> p "eor r%d, r%d" d r
+  | Mov (d, r) -> p "mov r%d, r%d" d r
+  | Cp (d, r) -> p "cp r%d, r%d" d r
+  | Cpc (d, r) -> p "cpc r%d, r%d" d r
+  | Mul (d, r) -> p "mul r%d, r%d" d r
+  | Cpi (d, k) -> p "cpi r%d, 0x%02x" d k
+  | Sbci (d, k) -> p "sbci r%d, 0x%02x" d k
+  | Subi (d, k) -> p "subi r%d, 0x%02x" d k
+  | Ori (d, k) -> p "ori r%d, 0x%02x" d k
+  | Andi (d, k) -> p "andi r%d, 0x%02x" d k
+  | Ldi (d, k) -> p "ldi r%d, 0x%02x" d k
+  | Adiw (d, k) -> p "adiw r%d, %d" d k
+  | Sbiw (d, k) -> p "sbiw r%d, %d" d k
+  | Com d -> p "com r%d" d
+  | Neg d -> p "neg r%d" d
+  | Swap d -> p "swap r%d" d
+  | Inc d -> p "inc r%d" d
+  | Dec d -> p "dec r%d" d
+  | Asr d -> p "asr r%d" d
+  | Lsr d -> p "lsr r%d" d
+  | Ror d -> p "ror r%d" d
+  | Ld (d, m) -> p "ld r%d, %s" d (ptr_name m)
+  | Ldd (d, b, q) -> p "ldd r%d, %s+%d" d (base_name b) q
+  | St (m, r) -> p "st %s, r%d" (ptr_name m) r
+  | Std (b, q, r) -> p "std %s+%d, r%d" (base_name b) q r
+  | Lds (d, a) -> p "lds r%d, 0x%04x" d a
+  | Sts (a, r) -> p "sts 0x%04x, r%d" a r
+  | Lpm (d, inc) -> p "lpm r%d, Z%s" d (if inc then "+" else "")
+  | Push r -> p "push r%d" r
+  | Pop d -> p "pop r%d" d
+  | In (d, a) -> p "in r%d, 0x%02x" d a
+  | Out (a, r) -> p "out 0x%02x, r%d" a r
+  | Rjmp k -> p "rjmp .%+d" k
+  | Rcall k -> p "rcall .%+d" k
+  | Jmp a -> p "jmp 0x%04x" a
+  | Call a -> p "call 0x%04x" a
+  | Ijmp -> "ijmp"
+  | Icall -> "icall"
+  | Ret -> "ret"
+  | Reti -> "reti"
+  | Brbs (s, k) -> p "%s .%+d" (branch_name ~set:true s) k
+  | Brbc (s, k) -> p "%s .%+d" (branch_name ~set:false s) k
+  | Bset 7 -> "sei"
+  | Bclr 7 -> "cli"
+  | Bset s -> p "bset %d" s
+  | Bclr s -> p "bclr %d" s
+  | Sleep -> "sleep"
+  | Break -> "break"
+  | Wdr -> "wdr"
+  | Syscall k -> p "syscall %d" k
+
+(** Disassemble a whole image, one instruction per line with addresses. *)
+let image (img : int array) : string =
+  Decode.program img
+  |> List.map (fun (a, i) -> Printf.sprintf "%04x:  %s" a (to_string i))
+  |> String.concat "\n"

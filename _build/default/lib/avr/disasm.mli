@@ -1,0 +1,7 @@
+(** Human-readable disassembly in conventional AVR mnemonic syntax. *)
+
+val to_string : Isa.t -> string
+
+(** Disassemble a whole image, one "addr: mnemonic" line per
+    instruction. *)
+val image : int array -> string

@@ -1,0 +1,107 @@
+(* Binary encoder for the ISA subset, following the real AVR opcode
+   formats (Atmel doc 0856).  Producing genuine encodings matters for the
+   reproduction: the rewriter's shift table and Figure 4's code-inflation
+   byte counts are derived from the 16-vs-32-bit word sizes below. *)
+
+exception Invalid_instruction of Isa.t
+
+let check i = if not (Isa.valid i) then raise (Invalid_instruction i)
+
+(* Two-register format: oooo oord dddd rrrr. *)
+let rr op d r = op lor ((r land 0x10) lsl 5) lor (d lsl 4) lor (r land 0x0F)
+
+(* Register+8-bit-immediate format: oooo KKKK dddd KKKK, d in 16..31. *)
+let ri op d k = op lor ((k land 0xF0) lsl 4) lor ((d - 16) lsl 4) lor (k land 0x0F)
+
+(* One-register format: oooo oood dddd oooo. *)
+let r1 op sub d = op lor (d lsl 4) lor sub
+
+(* Displacement format (LDD/STD): 10q0 qq.d dddd .qqq with the store bit
+   at position 9 and the Y/Z bit at position 3. *)
+let disp ~store base d q =
+  0x8000
+  lor (if store then 0x0200 else 0)
+  lor (match base with Isa.Ybase -> 0x0008 | Isa.Zbase -> 0)
+  lor (d lsl 4)
+  lor (q land 0x07)
+  lor ((q land 0x18) lsl 7)
+  lor ((q land 0x20) lsl 8)
+
+(* The pointer-mode selector bits are identical for loads and stores; the
+   store bit lives at position 9 of the opcode. *)
+let ptr_sub p =
+  match p with
+  | Isa.X -> 0xC
+  | X_inc -> 0xD
+  | X_dec -> 0xE
+  | Y_inc -> 0x9
+  | Y_dec -> 0xA
+  | Z_inc -> 0x1
+  | Z_dec -> 0x2
+
+(** Encode an instruction to one or two 16-bit words. *)
+let words (i : Isa.t) : int list =
+  check i;
+  match i with
+  | Nop -> [ 0x0000 ]
+  | Movw (d, r) -> [ 0x0100 lor ((d / 2) lsl 4) lor (r / 2) ]
+  | Cpc (d, r) -> [ rr 0x0400 d r ]
+  | Sbc (d, r) -> [ rr 0x0800 d r ]
+  | Add (d, r) -> [ rr 0x0C00 d r ]
+  | Cp (d, r) -> [ rr 0x1400 d r ]
+  | Sub (d, r) -> [ rr 0x1800 d r ]
+  | Adc (d, r) -> [ rr 0x1C00 d r ]
+  | And (d, r) -> [ rr 0x2000 d r ]
+  | Eor (d, r) -> [ rr 0x2400 d r ]
+  | Or (d, r) -> [ rr 0x2800 d r ]
+  | Mov (d, r) -> [ rr 0x2C00 d r ]
+  | Mul (d, r) -> [ rr 0x9C00 d r ]
+  | Cpi (d, k) -> [ ri 0x3000 d k ]
+  | Sbci (d, k) -> [ ri 0x4000 d k ]
+  | Subi (d, k) -> [ ri 0x5000 d k ]
+  | Ori (d, k) -> [ ri 0x6000 d k ]
+  | Andi (d, k) -> [ ri 0x7000 d k ]
+  | Ldi (d, k) -> [ ri 0xE000 d k ]
+  | Adiw (d, k) ->
+    [ 0x9600 lor ((k land 0x30) lsl 2) lor (((d - 24) / 2) lsl 4) lor (k land 0x0F) ]
+  | Sbiw (d, k) ->
+    [ 0x9700 lor ((k land 0x30) lsl 2) lor (((d - 24) / 2) lsl 4) lor (k land 0x0F) ]
+  | Com d -> [ r1 0x9400 0x0 d ]
+  | Neg d -> [ r1 0x9400 0x1 d ]
+  | Swap d -> [ r1 0x9400 0x2 d ]
+  | Inc d -> [ r1 0x9400 0x3 d ]
+  | Asr d -> [ r1 0x9400 0x5 d ]
+  | Lsr d -> [ r1 0x9400 0x6 d ]
+  | Ror d -> [ r1 0x9400 0x7 d ]
+  | Dec d -> [ r1 0x9400 0xA d ]
+  | Ld (d, p) -> [ 0x9000 lor (d lsl 4) lor ptr_sub p ]
+  | St (p, r) -> [ 0x9200 lor (r lsl 4) lor ptr_sub p ]
+  | Ldd (d, b, q) -> [ disp ~store:false b d q ]
+  | Std (b, q, r) -> [ disp ~store:true b r q ]
+  | Lds (d, a) -> [ 0x9000 lor (d lsl 4); a ]
+  | Sts (a, r) -> [ 0x9200 lor (r lsl 4); a ]
+  | Lpm (d, inc) -> [ 0x9000 lor (d lsl 4) lor (if inc then 0x5 else 0x4) ]
+  | Push r -> [ 0x920F lor (r lsl 4) ]
+  | Pop d -> [ 0x900F lor (d lsl 4) ]
+  | In (d, a) -> [ 0xB000 lor ((a land 0x30) lsl 5) lor (d lsl 4) lor (a land 0x0F) ]
+  | Out (a, r) -> [ 0xB800 lor ((a land 0x30) lsl 5) lor (r lsl 4) lor (a land 0x0F) ]
+  | Rjmp k -> [ 0xC000 lor (k land 0x0FFF) ]
+  | Rcall k -> [ 0xD000 lor (k land 0x0FFF) ]
+  | Jmp a -> [ 0x940C lor ((a lsr 17) lsl 4) lor ((a lsr 16) land 1); a land 0xFFFF ]
+  | Call a -> [ 0x940E lor ((a lsr 17) lsl 4) lor ((a lsr 16) land 1); a land 0xFFFF ]
+  | Ijmp -> [ 0x9409 ]
+  | Icall -> [ 0x9509 ]
+  | Ret -> [ 0x9508 ]
+  | Reti -> [ 0x9518 ]
+  | Brbs (s, k) -> [ 0xF000 lor ((k land 0x7F) lsl 3) lor s ]
+  | Brbc (s, k) -> [ 0xF400 lor ((k land 0x7F) lsl 3) lor s ]
+  | Bset s -> [ 0x9408 lor (s lsl 4) ]
+  | Bclr s -> [ 0x9488 lor (s lsl 4) ]
+  | Sleep -> [ 0x9588 ]
+  | Break -> [ 0x9598 ]
+  | Wdr -> [ 0x95A8 ]
+  | Syscall k -> [ 0xFF08 lor ((k land 0x78) lsl 1) lor (k land 0x07) ]
+
+(** Encode a whole program to a word array. *)
+let program (is : Isa.t list) : int array =
+  Array.of_list (List.concat_map words is)

@@ -1,0 +1,11 @@
+(** Binary encoder for the ISA subset, following the real AVR opcode
+    formats (Atmel doc 0856). *)
+
+exception Invalid_instruction of Isa.t
+
+(** Encode one instruction to one or two 16-bit words.  Raises
+    {!Invalid_instruction} when operands are out of range. *)
+val words : Isa.t -> int list
+
+(** Encode a whole program to a flash word array. *)
+val program : Isa.t list -> int array

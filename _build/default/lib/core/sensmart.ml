@@ -1,0 +1,62 @@
+(* Public API of the SenSmart reproduction.
+
+   The library is organized bottom-up:
+
+   - {!Avr}: the AVR instruction set — types, binary encode/decode,
+     datasheet cycle costs, disassembly.
+   - {!Machine}: the simulated MICA2-class mote (CPU, SRAM, flash,
+     timers, ADC, radio).
+   - {!Asm}: the assembler DSL used to write sensornet programs, and the
+     image/symbol-list format the rewriter consumes.
+   - {!Rewriter}: the base-station binary rewriter (Section IV-A of the
+     paper): trampolines, shift table, grouped-access optimization.
+   - {!Kernel}: the SenSmart kernel runtime: preemptive round-robin
+     scheduling on software traps, logical addressing, stack
+     relocation.
+   - {!Programs}: the paper's benchmark programs and workloads.
+   - {!Minic}: a small C-like language compiled to the assembler DSL
+     (standing in for the nesC toolchain).
+   - {!Tkernel}, {!Liteos}, {!Matevm}: the comparison systems.
+   - {!Workloads}: drivers that regenerate every table and figure of the
+     paper's evaluation section.
+
+   Quick start: assemble a program, boot a kernel with it, run it.
+
+   {[
+     let img = Sensmart.assemble my_program in
+     let k = Sensmart.boot [ img ] in
+     match Sensmart.run k with
+     | Machine.Cpu.Halted Break_hit -> ...
+   ]} *)
+
+module Avr = Avr
+module Machine = Machine
+module Asm = Asm
+module Rewriter = Rewriter
+module Kernel = Kernel
+module Programs = Programs
+module Tkernel = Tkernel
+module Liteos = Liteos
+module Matevm = Matevm
+module Workloads = Workloads
+module Minic = Minic
+module Net = Net
+
+(** Assemble a program source into a binary image with its symbol list. *)
+let assemble = Asm.Assembler.assemble
+
+(** Naturalize one image (base-station rewriting) for inspection. *)
+let rewrite ?config ?(base = 0) img = Rewriter.Rewrite.run ?config ~base img
+
+(** Boot a simulated mote running the given applications concurrently
+    under the SenSmart kernel (rewriting them on the way in). *)
+let boot = Kernel.boot
+
+(** Run the booted system until all tasks exit or the budget is spent. *)
+let run = Kernel.run
+
+(** Run one image natively, with no operating system. *)
+let run_native = Workloads.Native.run
+
+(** Compile minic source text to a binary image. *)
+let compile_minic = Minic.Codegen.compile_source

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Asm Bytes Char Costing Kcells List Logs Machine Naturalized Printf Relocation Rewrite Rewriter Shift_table Task

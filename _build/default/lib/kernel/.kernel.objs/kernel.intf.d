@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Asm Costing Machine Relocation Rewriter Task

@@ -1,0 +1,1 @@
+lib/kernel/costing.ml: Rewriter

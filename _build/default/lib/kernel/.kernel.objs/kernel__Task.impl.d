@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Asm Bytes Machine Relocation Rewriter

@@ -1,0 +1,40 @@
+(* Cycle costs of the kernel services that the real SenSmart implements
+   as AVR code inside the kernel but that this reproduction executes in
+   OCaml against the simulated SRAM.  Each formula models the obvious
+   AVR implementation; DESIGN.md lists them as the only non-emergent
+   costs in the reproduction (trampoline costs, by contrast, emerge from
+   executed instructions). *)
+
+(* LDS+STS copy loop: ~8 cycles per byte moved (4 for the two memory
+   ops, ~4 for pointer bookkeeping and the loop branch). *)
+let per_byte_copy = 8
+
+(** Saving one task context into its TCB slot ({!Rewriter.Kcells.tcb_bytes}
+    bytes) plus scheduler entry bookkeeping. *)
+let context_save = (Rewriter.Kcells.tcb_bytes * per_byte_copy) + 64
+
+(** Restoring a context and refreshing the displacement cells. *)
+let context_restore = (Rewriter.Kcells.tcb_bytes * per_byte_copy) + 96
+
+(** Scheduler decision logic between save and restore. *)
+let schedule_decision = 120
+
+(** Stack relocation: fixed overhead (region scan, pointer updates) plus
+    the memmove. *)
+let relocation_fixed = 220
+let relocation_move bytes = relocation_fixed + (per_byte_copy * bytes)
+
+(** Kernel bodies of the small services (argument latch, SP arithmetic,
+    bounds test), modelling their in-kernel AVR implementations. *)
+let trap_body = 30
+let yield_body = 40
+let getsp_body = 24
+let setsp_body = 46
+let timer3_body = 20
+let exit_body = 60
+let fault_body = 60
+
+(** One-time system initialization: clearing the kernel area, setting up
+    TCBs and cells, and zeroing each task's region. *)
+let init_fixed = 900
+let init_per_task region_bytes = 180 + (2 * region_bytes)

@@ -1,0 +1,106 @@
+(** The SenSmart kernel runtime.
+
+    One instance owns one simulated mote and a set of naturalized
+    tasks.  Scheduling is round-robin over time slices counted on the
+    global clock; preemption happens only at software traps (the
+    backward-branch counter) and other kernel entries — no clock
+    interrupt is involved, so tasks that disable interrupts are still
+    preempted (Section IV-B).
+
+    Kernel work that the real system implements in AVR (context copies,
+    relocation memmoves) runs in OCaml against the simulated SRAM and
+    charges cycles per {!Costing}. *)
+
+module Task : module type of Task
+module Costing : module type of Costing
+module Relocation : module type of Relocation
+
+type config = {
+  slice_cycles : int;  (** round-robin time slice (cycles) *)
+  stack_budget : int option;
+      (** total stack space across tasks; [None] uses everything left of
+          the application area after the heaps (the paper's model).
+          Figure 8 caps this to LiteOS's budget. *)
+  min_stack : int;  (** smallest admissible initial stack per task *)
+  min_grant : int;  (** smallest useful relocation grant *)
+  donor_keep : int;  (** stack bytes a donor must keep for its own use *)
+  trap_period : int;  (** backward branches per software trap, 1..256 *)
+  spare_tcbs : int;  (** TCB slots reserved for run-time {!spawn} *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable traps : int;  (** software-trap kernel entries *)
+  mutable context_switches : int;
+  mutable relocations : int;
+  mutable relocated_bytes : int;
+  mutable grow_requests : int;
+  mutable translations : int;  (** indirect program-address lookups *)
+  mutable init_cycles : int;
+  mutable preempt_delay_total : int;
+      (** cycles between slice expiry and the honouring trap, summed *)
+  mutable preempt_delay_max : int;
+  mutable preempt_switches : int;
+}
+
+(** Coarse kernel events (switches, stack motion, task lifecycle);
+    software traps are counted in {!stats} instead of logged. *)
+type event =
+  | Switched of { at : int; from_task : int option; to_task : int }
+  | Relocated of { at : int; needy : int; delta : int; moved : int }
+  | Terminated of { at : int; task : int; reason : string }
+  | Spawned of { at : int; task : int; stack : int }
+
+type t = {
+  m : Machine.Cpu.t;
+  cfg : config;
+  mutable tasks : Task.t list;  (** in id order; exited tasks remain listed *)
+  mutable current : Task.t option;
+  mutable slice_start : int;
+  mutable next_flash : int;  (** next free flash word, for spawned tasks *)
+  app_limit : int;  (** top of the application area for this boot *)
+  stats : stats;
+  mutable log_events : bool;  (** off by default; enable before running *)
+  mutable events : event list;  (** newest first; see {!event_log} *)
+}
+
+exception Admission_failure of string
+
+(** Tasks that have not exited. *)
+val live_tasks : t -> Task.t list
+
+val find_task : t -> int -> Task.t
+
+(** Recorded events, oldest first (empty unless [log_events] was set). *)
+val event_log : t -> event list
+
+(** Naturalize and admit the images onto a fresh mote.  Raises
+    {!Admission_failure} when heaps plus minimum stacks do not fit. *)
+val boot :
+  ?config:config -> ?rewrite:Rewriter.Rewrite.config -> Asm.Image.t list -> t
+
+(** Run until every task exits (machine halts with [Break_hit]) or the
+    cycle budget runs out. *)
+val run : ?max_cycles:int -> t -> Machine.Cpu.stop
+
+(** Admit a new application at run time — "reprogramming as an OS
+    service".  Needs a spare TCB slot; its memory region is carved from
+    free space or donors' surplus stack.  Rolls back on failure. *)
+val spawn : t -> Asm.Image.t -> (Task.t, string) result
+
+(** Read a byte of a task's heap by logical address (live, or from the
+    post-mortem snapshot after exit). *)
+val heap_byte : t -> int -> int -> int
+
+(** Read a task's 16-bit little-endian data variable by symbol name. *)
+val read_var : t -> int -> string -> int
+
+(** Check structural memory-layout invariants (region ordering,
+    disjointness, bounds, SP containment, cell freshness); raises
+    [Failure] on violation.  Cheap enough to call after every test
+    scenario. *)
+val check_invariants : t -> unit
+
+(** Name and exit reason of every task that has stopped. *)
+val outcomes : t -> (string * string) list

@@ -1,0 +1,132 @@
+(* Stack relocation (Section IV-C3, Figure 3).
+
+   The application area is a sequence of contiguous task regions
+   [p_l, p_u), each holding a fixed heap [p_l, p_h) at the bottom and a
+   stack at the top; the free stack gap of a region is [p_h, sp] (SP is
+   an empty-descending physical stack pointer).
+
+   To give delta bytes from a donor to a needy task, the bytes between
+   the two free gaps slide toward the donor, shrinking the donor's gap
+   and widening the needy's.  Because applications address memory
+   logically, only the physical bookkeeping (bounds, SPs, displacement
+   cells) changes — the paper's key claim.
+
+   This module is pure region arithmetic over an abstract [move]
+   callback, so the algorithm is testable without a machine. *)
+
+type region = {
+  id : int;
+  mutable p_l : int;
+  mutable p_h : int;
+  mutable p_u : int;
+  mutable sp : int;  (** physical SP: live for the running task, else saved *)
+}
+
+let gap r = r.sp - r.p_h + 1
+
+(** Free stack bytes a region could give away while keeping [keep] in
+    hand for its own trampolines. *)
+let surplus ~keep r = gap r - keep
+
+let by_address regions = List.sort (fun a b -> compare a.p_l b.p_l) regions
+
+(* Shift a region's position (and its SP) by [delta] (can be negative). *)
+let shift_region r delta =
+  r.p_l <- r.p_l + delta;
+  r.p_h <- r.p_h + delta;
+  r.p_u <- r.p_u + delta;
+  r.sp <- r.sp + delta
+
+(** Move [delta] bytes of stack space from [donor] to [needy].
+    [move ~src ~dst ~len] must behave like memmove.  Returns the number
+    of bytes physically moved. *)
+let donate ~regions ~donor ~needy ~delta ~move =
+  if delta <= 0 then invalid_arg "donate: non-positive delta";
+  if surplus ~keep:0 donor < delta then invalid_arg "donate: donor too small";
+  let sorted = by_address regions in
+  let between lo hi r = r.p_l > lo && r.p_u <= hi in
+  if donor.p_l >= needy.p_u then begin
+    (* Donor above: the block [needy stack contents .. donor heap] slides
+       up by delta. *)
+    let src = needy.sp + 1 in
+    let len = donor.p_h - src in
+    move ~src ~dst:(src + delta) ~len;
+    (* Needy: stack contents moved up; its region top rises. *)
+    needy.p_u <- needy.p_u + delta;
+    needy.sp <- needy.sp + delta;
+    (* Whole regions strictly between the two shift up. *)
+    List.iter
+      (fun r ->
+        if r != donor && r != needy && between needy.p_l donor.p_l r then
+          shift_region r delta)
+      sorted;
+    (* Donor: heap slides up, stack stays. *)
+    donor.p_l <- donor.p_l + delta;
+    donor.p_h <- donor.p_h + delta;
+    len
+  end
+  else begin
+    (* Donor below: the block [donor stack contents .. needy heap] slides
+       down by delta. *)
+    let src = donor.sp + 1 in
+    let len = needy.p_h - src in
+    move ~src ~dst:(src - delta) ~len;
+    donor.p_u <- donor.p_u - delta;
+    donor.sp <- donor.sp - delta;
+    List.iter
+      (fun r ->
+        if r != donor && r != needy && between donor.p_l needy.p_l r then
+          shift_region r (-delta))
+      sorted;
+    needy.p_l <- needy.p_l - delta;
+    needy.p_h <- needy.p_h - delta;
+    len
+  end
+
+(** Pick the donor with the largest surplus (the paper's policy),
+    excluding [needy]; it will give half its surplus, at least
+    [min_grant] bytes.  Returns [None] when no donor can help. *)
+let pick_donor ~keep ~min_grant ~regions ~needy =
+  let best =
+    List.fold_left
+      (fun acc r ->
+        if r == needy then acc
+        else
+          let s = surplus ~keep r in
+          match acc with
+          | Some (_, sb) when sb >= s -> acc
+          | _ when s > 0 -> Some (r, s)
+          | _ -> acc)
+      None regions
+  in
+  match best with
+  | Some (r, s) when s / 2 >= min_grant -> Some (r, s / 2)
+  | _ -> None
+
+(** Absorb the hole [lo, hi) left by a terminated task into a
+    neighbouring region's stack gap.  Returns bytes moved. *)
+let absorb_hole ~regions ~lo ~hi ~move =
+  let size = hi - lo in
+  if size <= 0 then 0
+  else
+    let sorted = by_address regions in
+    let left = List.filter (fun r -> r.p_u <= lo) sorted in
+    match List.rev left with
+    | r :: _ when r.p_u = lo ->
+      (* Slide the left neighbour's stack contents up over the hole. *)
+      let src = r.sp + 1 in
+      let len = r.p_u - src in
+      move ~src ~dst:(src + size) ~len;
+      r.p_u <- r.p_u + size;
+      r.sp <- r.sp + size;
+      len
+    | _ ->
+      (match List.find_opt (fun r -> r.p_l = hi) sorted with
+       | Some r ->
+         (* Slide the right neighbour's heap down over the hole. *)
+         let len = r.p_h - r.p_l in
+         move ~src:r.p_l ~dst:(r.p_l - size) ~len;
+         r.p_l <- r.p_l - size;
+         r.p_h <- r.p_h - size;
+         len
+       | None -> 0)

@@ -1,0 +1,55 @@
+(** Stack relocation (Section IV-C3, Figure 3).
+
+    The application area is a sequence of contiguous task regions
+    [p_l, p_u), each with a fixed heap [p_l, p_h) at the bottom and a
+    stack at the top; a region's free gap is [p_h, sp].  Donating
+    [delta] bytes slides the memory between the donor's and the needy's
+    gaps toward the donor.  Pure region arithmetic over an abstract
+    memmove, testable without a machine. *)
+
+type region = {
+  id : int;
+  mutable p_l : int;  (** region base (heap start) *)
+  mutable p_h : int;  (** heap end / lowest stack byte *)
+  mutable p_u : int;  (** one past the region *)
+  mutable sp : int;  (** physical SP: live for the running task, else saved *)
+}
+
+(** Free bytes of the region's stack gap. *)
+val gap : region -> int
+
+(** Free stack bytes the region could give away while keeping [keep]. *)
+val surplus : keep:int -> region -> int
+
+(** Regions sorted by base address. *)
+val by_address : region list -> region list
+
+(** [donate ~regions ~donor ~needy ~delta ~move] moves [delta] bytes of
+    stack space from [donor] to [needy]; [move ~src ~dst ~len] must
+    behave like memmove.  Updates every affected region's bounds and SP
+    in place; returns the number of bytes physically moved. *)
+val donate :
+  regions:region list ->
+  donor:region ->
+  needy:region ->
+  delta:int ->
+  move:(src:int -> dst:int -> len:int -> unit) ->
+  int
+
+(** The paper's donor policy: the region with the largest surplus gives
+    half of it (at least [min_grant]); [None] when nobody can help. *)
+val pick_donor :
+  keep:int ->
+  min_grant:int ->
+  regions:region list ->
+  needy:region ->
+  (region * int) option
+
+(** Absorb the hole [lo, hi) left by a terminated task into a
+    neighbouring region's gap; returns bytes moved. *)
+val absorb_hole :
+  regions:region list ->
+  lo:int ->
+  hi:int ->
+  move:(src:int -> dst:int -> len:int -> unit) ->
+  int

@@ -1,0 +1,42 @@
+(* Per-task state: the naturalized program, the region bookkeeping
+   (shared with {!Relocation} through the [region] record), and the TCB
+   slot where the context lives in kernel SRAM. *)
+
+type status =
+  | Ready
+  | Sleeping of int  (** absolute wake-up cycle *)
+  | Exited of string  (** reason: "exit", or a fault/termination message *)
+
+type t = {
+  id : int;
+  name : string;
+  nat : Rewriter.Naturalized.t;
+  region : Relocation.region;
+  tcb : int;  (** SRAM address of this task's 37-byte context slot *)
+  mutable status : status;
+  mutable activations : int;  (** yields-to-ready transitions, for workloads *)
+  mutable grow_events : int;  (** stack-check kernel entries *)
+  mutable min_headroom : int;  (** smallest observed stack gap *)
+  mutable heap_snapshot : Bytes.t option;
+      (** contents of the heap captured when the task stopped, before its
+          region was recycled *)
+}
+
+let heap_size t = t.region.p_h - t.region.p_l
+
+(** Current stack allocation (capacity) of the task's region. *)
+let stack_alloc t = t.region.p_u - t.region.p_h
+
+let is_ready t = match t.status with Ready -> true | Sleeping _ | Exited _ -> false
+let is_live t = match t.status with Exited _ -> false | Ready | Sleeping _ -> true
+
+(** Logical stack displacement ((p_u - M) mod 2^16) of the task. *)
+let sdisp t = (t.region.p_u - Machine.Layout.data_size) land 0xFFFF
+
+let hdisp t = (t.region.p_l - Asm.Image.heap_base) land 0xFFFF
+
+(** Physical floor for SP checks: the byte below the lowest stack slot. *)
+let floor_phys t = t.region.p_h - 1
+
+(** Logical address of the lowest valid stack byte. *)
+let floor_log t = (t.region.p_h - sdisp t) land 0xFFFF

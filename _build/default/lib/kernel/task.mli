@@ -1,0 +1,37 @@
+(** Per-task state: naturalized program, memory-region bookkeeping
+    (shared with {!Relocation}), and the TCB slot holding the saved
+    context in kernel SRAM. *)
+
+type status =
+  | Ready
+  | Sleeping of int  (** absolute wake-up cycle *)
+  | Exited of string  (** "exit", or a fault/termination message *)
+
+type t = {
+  id : int;
+  name : string;
+  nat : Rewriter.Naturalized.t;
+  region : Relocation.region;
+  tcb : int;  (** SRAM address of the 37-byte context slot *)
+  mutable status : status;
+  mutable activations : int;  (** sleep-to-ready transitions *)
+  mutable grow_events : int;  (** stack-check kernel entries *)
+  mutable min_headroom : int;  (** smallest observed stack gap *)
+  mutable heap_snapshot : Bytes.t option;
+      (** heap contents captured when the task stopped *)
+}
+
+val heap_size : t -> int
+
+(** Current stack capacity of the task's region. *)
+val stack_alloc : t -> int
+
+val is_ready : t -> bool
+val is_live : t -> bool
+
+(** Displacements and bounds the kernel publishes in its cells. *)
+val sdisp : t -> int
+
+val hdisp : t -> int
+val floor_phys : t -> int
+val floor_log : t -> int

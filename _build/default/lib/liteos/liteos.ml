@@ -1,0 +1,235 @@
+(* LiteOS-like multithreading baseline (Figure 8).
+
+   Characteristics modeled from the paper's description and Table I:
+   - over 2000 bytes of static kernel data in SRAM;
+   - each thread receives a FIXED stack partition sized for the worst
+     case — no relocation, no logical addressing, "manual" physical
+     memory management;
+   - preemptive scheduling driven by clock interrupts (modeled with the
+     machine's cycle-horizon preemption);
+   - no rewriting: threads run native code compiled against their own
+     data/stack placement.
+
+   A thread whose SP leaves its partition is killed when the scheduler
+   next runs — on real LiteOS it would silently corrupt its neighbour,
+   which is precisely the failure fixed allocation risks.
+
+   Clock-driven preemption honours the I flag: a thread that executes
+   CLI cannot be preempted until it executes SEI again — the exact
+   weakness of interrupt-based scheduling that SenSmart's software traps
+   avoid (the "Interrupt-free Preemption" row of Table I). *)
+
+type config = {
+  static_data : int;  (** kernel's static SRAM usage *)
+  thread_stack : int;  (** fixed per-thread stack partition *)
+  slice_cycles : int;
+}
+
+let default_config = { static_data = 2000; thread_stack = 220; slice_cycles = 8192 }
+
+(* Costs of the (unmodeled-in-AVR) kernel paths. *)
+let context_switch_cycles = 460
+let init_cycles = 4200
+
+type status = Ready | Sleeping of int | Dead of string
+
+type thread = {
+  id : int;
+  name : string;
+  img : Asm.Image.t;
+  heap_base : int;
+  stack_floor : int;  (** lowest legal SP value + 1 *)
+  stack_top : int;  (** initial SP *)
+  mutable status : status;
+  (* Saved context. *)
+  regs : int array;
+  mutable sp : int;
+  mutable pc : int;
+  mutable sreg : int;
+}
+
+type t = {
+  m : Machine.Cpu.t;
+  cfg : config;
+  threads : thread list;
+  mutable current : thread option;
+  mutable switches : int;
+}
+
+exception Admission_failure of string
+
+(** Total stack space the kernel can hand out, given the heaps of the
+    admitted programs — the number Figure 8 equalizes with SenSmart. *)
+let stack_space ~config ~total_heap =
+  Machine.Layout.data_size - Machine.Layout.sram_base - config.static_data
+  - total_heap
+
+(** Admit threads.  Each builder receives its placement and must return
+    the program source, which is then assembled against the thread's
+    flash base, private data base, and fixed stack top. *)
+let boot ?(config = default_config)
+    (builders : (string * (data_base:int -> sp_top:int -> Asm.Ast.program)) list) : t =
+  let m = Machine.Cpu.create () in
+  let app_limit = Machine.Layout.data_size - config.static_data in
+  let next_data = ref Machine.Layout.sram_base in
+  let next_flash = ref 0 in
+  let threads =
+    List.mapi
+      (fun id (name, make) ->
+        (* First build learns the heap size; placement then assigns
+           [heap][stack] contiguously. *)
+        let probe =
+          Asm.Assembler.assemble ~data_base:!next_data
+            (make ~data_base:!next_data ~sp_top:0)
+        in
+        let heap = probe.data_size in
+        let heap_base = !next_data in
+        let stack_floor = heap_base + heap in
+        let stack_top = stack_floor + config.thread_stack - 1 in
+        if stack_top >= app_limit then
+          raise (Admission_failure (Printf.sprintf "no memory for thread %d (%s)" id name));
+        next_data := stack_top + 1;
+        let img =
+          Asm.Assembler.assemble ~base:!next_flash ~data_base:heap_base
+            (make ~data_base:heap_base ~sp_top:stack_top)
+        in
+        Machine.Cpu.load ~at:!next_flash m img.words;
+        List.iter (fun (a, b) -> Machine.Cpu.write8 m a b) img.data_init;
+        next_flash := !next_flash + Array.length img.words;
+        { id; name; img; heap_base; stack_floor; stack_top;
+          status = Ready; regs = Array.make 32 0; sp = stack_top;
+          (* Threads start with interrupts enabled, as LiteOS's loader
+             leaves them. *)
+          pc = img.entry; sreg = 0x80 })
+      builders
+  in
+  m.cycles <- init_cycles;
+  { m; cfg = config; threads; current = None; switches = 0 }
+
+let live t = List.filter (fun th -> match th.status with Dead _ -> false | _ -> true) t.threads
+
+let save k th =
+  Array.blit k.m.regs 0 th.regs 0 32;
+  th.sp <- k.m.sp;
+  th.pc <- k.m.pc;
+  th.sreg <- k.m.sreg
+
+let restore k th =
+  Array.blit th.regs 0 k.m.regs 0 32;
+  k.m.sp <- th.sp;
+  k.m.pc <- th.pc;
+  k.m.sreg <- th.sreg
+
+(* Fixed partitions make overflow a wild write; detect it whenever the
+   scheduler looks at the thread. *)
+let check_overflow th sp =
+  match th.status with
+  | Dead _ -> ()
+  | Ready | Sleeping _ ->
+    if sp < th.stack_floor - 1 || sp > th.stack_top then
+      th.status <- Dead "stack overflow (fixed partition)"
+
+let wake_ready k =
+  let now = k.m.cycles in
+  List.iter
+    (fun th -> match th.status with
+       | Sleeping w when w <= now -> th.status <- Ready
+       | _ -> ())
+    k.threads
+
+let pick k =
+  let cur = match k.current with Some c -> c.id | None -> -1 in
+  let ready = List.filter (fun th -> th.status = Ready) k.threads in
+  match List.find_opt (fun th -> th.id > cur) ready with
+  | Some th -> Some th
+  | None -> (match ready with th :: _ -> Some th | [] -> None)
+
+(** Run the thread set for [max_cycles].  Returns the machine stop. *)
+let run ?(max_cycles = 100_000_000) (k : t) : Machine.Cpu.stop =
+  let rec schedule () =
+    wake_ready k;
+    match pick k with
+    | Some th ->
+      (match k.current with
+       | Some c when c == th -> ()
+       | _ ->
+         (match k.current with
+          | Some c -> (match c.status with Dead _ -> () | _ -> save k c)
+          | None -> ());
+         restore k th;
+         k.current <- Some th;
+         k.switches <- k.switches + 1;
+         k.m.cycles <- k.m.cycles + context_switch_cycles);
+      k.m.preempt_at <- k.m.cycles + k.cfg.slice_cycles;
+      step ()
+    | None ->
+      if live k <> [] then begin
+        let wake =
+          List.fold_left
+            (fun acc th -> match th.status with Sleeping w -> min acc w | _ -> acc)
+            max_int k.threads
+        in
+        if wake = max_int then Machine.Cpu.Halted Break_hit
+        else begin
+          (match k.current with
+           | Some c -> (match c.status with Dead _ -> () | _ -> save k c)
+           | None -> ());
+          k.current <- None;
+          Machine.Cpu.fast_forward k.m wake;
+          schedule ()
+        end
+      end
+      else Machine.Cpu.Halted Break_hit
+  and step () =
+    match Machine.Cpu.run ~max_cycles k.m with
+    | Halted h ->
+      (match k.current with
+       | Some c ->
+         (match h with
+          | Break_hit -> c.status <- Dead "exit"
+          | Invalid_opcode _ | Fault _ ->
+            c.status <- Dead (Fmt.str "%a" Machine.Cpu.pp_halt h));
+         k.m.halted <- None;
+         k.current <- None;
+         schedule ()
+       | None -> Machine.Cpu.Halted h)
+    | Sleeping ->
+      (match k.current with
+       | Some c ->
+         c.status <- Sleeping (Machine.Cpu.next_wake k.m);
+         check_overflow c k.m.sp
+       | None -> ());
+      schedule ()
+    | Preempted ->
+      if k.m.sreg land 0x80 = 0 then begin
+        (* Interrupts disabled: the timer tick cannot reach the kernel.
+           Keep running the same thread until it executes SEI (or the
+           global budget expires). *)
+        k.m.preempt_at <- k.m.cycles + k.cfg.slice_cycles;
+        step ()
+      end
+      else begin
+        (match k.current with Some c -> check_overflow c k.m.sp | None -> ());
+        (match k.current with
+         | Some c when (match c.status with Dead _ -> true | _ -> false) ->
+           k.current <- None
+         | _ -> ());
+        schedule ()
+      end
+    | Out_of_fuel -> Machine.Cpu.Out_of_fuel
+  in
+  schedule ()
+
+(** Threads that died, with reasons. *)
+let casualties k =
+  List.filter_map
+    (fun th -> match th.status with Dead r -> Some (th.name, r) | _ -> None)
+    k.threads
+
+(** Read a thread's 16-bit data variable (its symbols are placed at its
+    private data base). *)
+let read_var k id name =
+  let th = List.find (fun th -> th.id = id) k.threads in
+  match Asm.Image.find_symbol th.img name with
+  | Some (Data a) -> Machine.Cpu.read16 k.m a
+  | _ -> invalid_arg (Printf.sprintf "no data symbol %s in thread %d" name id)

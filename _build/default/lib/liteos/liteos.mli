@@ -1,0 +1,63 @@
+(** LiteOS-like multithreading baseline (Figure 8): over 2000 bytes of
+    static kernel data, fixed worst-case stack partitions per thread,
+    clock-driven preemption, no rewriting; threads run native code
+    compiled against their private placement.  A thread whose SP leaves
+    its partition is killed when the scheduler next looks. *)
+
+type config = {
+  static_data : int;  (** kernel's static SRAM usage *)
+  thread_stack : int;  (** fixed per-thread stack partition *)
+  slice_cycles : int;
+}
+
+val default_config : config
+
+type status = Ready | Sleeping of int | Dead of string
+
+type thread = {
+  id : int;
+  name : string;
+  img : Asm.Image.t;
+  heap_base : int;
+  stack_floor : int;
+  stack_top : int;
+  mutable status : status;
+  regs : int array;
+  mutable sp : int;
+  mutable pc : int;
+  mutable sreg : int;
+}
+
+type t = {
+  m : Machine.Cpu.t;
+  cfg : config;
+  threads : thread list;
+  mutable current : thread option;
+  mutable switches : int;
+}
+
+exception Admission_failure of string
+
+(** Stack bytes the kernel can hand out given the admitted heaps — the
+    budget Figure 8 equalizes with SenSmart. *)
+val stack_space : config:config -> total_heap:int -> int
+
+(** Admit threads: each builder receives its placement and returns the
+    program source, assembled against the thread's flash base, private
+    data base and fixed stack top. *)
+val boot :
+  ?config:config ->
+  (string * (data_base:int -> sp_top:int -> Asm.Ast.program)) list ->
+  t
+
+(** Threads that have not died. *)
+val live : t -> thread list
+
+(** Run the thread set for [max_cycles]. *)
+val run : ?max_cycles:int -> t -> Machine.Cpu.stop
+
+(** Threads that died, with reasons (including normal "exit"). *)
+val casualties : t -> (string * string) list
+
+(** Read a thread's 16-bit data variable at its private placement. *)
+val read_var : t -> int -> string -> int

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Avr Bytes Char Cycles Decode Fmt Io Isa Layout Printf

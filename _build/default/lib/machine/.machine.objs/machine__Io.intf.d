@@ -1,0 +1,1 @@
+lib/machine/io.mli:

@@ -1,0 +1,89 @@
+(** Cycle-counting execution engine for the AVR subset.
+
+    One {!t} models one mote MCU.  Kernels drive the machine through
+    {!run}, the [on_syscall] hook and the [preempt_at] cycle horizon;
+    the machine itself knows nothing about tasks. *)
+
+(** Why execution ended for good. *)
+type halt =
+  | Break_hit  (** the program executed BREAK: normal termination *)
+  | Invalid_opcode of int * int  (** (pc, word): undecodable instruction *)
+  | Fault of string  (** raised by a kernel (e.g. memory-protection kill) *)
+
+(** Why {!run} returned. *)
+type stop =
+  | Halted of halt
+  | Sleeping  (** SLEEP executed; the caller decides how to wake *)
+  | Preempted  (** the [preempt_at] cycle horizon was reached *)
+  | Out_of_fuel  (** the [max_cycles] bound of {!run} was reached *)
+
+val pp_halt : Format.formatter -> halt -> unit
+val pp_stop : Format.formatter -> stop -> unit
+
+type t = {
+  flash : int array;  (** 64 K words of program memory *)
+  code : Avr.Isa.t option array;  (** lazy decode cache *)
+  sram : Bytes.t;  (** the full data space of {!Layout} *)
+  io : Io.t;
+  regs : int array;  (** r0..r31, each 0..255 *)
+  mutable pc : int;  (** word address *)
+  mutable sp : int;
+  mutable sreg : int;
+  mutable cycles : int;
+  mutable idle_cycles : int;
+  mutable insns : int;  (** retired instruction count *)
+  mutable halted : halt option;
+  mutable sleeping : bool;
+  mutable preempt_at : int;  (** cycle horizon after which {!run} returns *)
+  mutable on_syscall : (t -> int -> unit) option;
+  mutable trace : (int -> Avr.Isa.t -> unit) option;
+}
+
+val create : ?flash:int array -> unit -> t
+
+(** [load ?at m image] copies [image] into flash at word address [at]
+    (default 0) and invalidates the decode cache over that range. *)
+val load : ?at:int -> t -> int array -> unit
+
+(** Cycles spent executing (total minus idle). *)
+val active_cycles : t -> int
+
+(** [flag m b] reads SREG bit [b] (0 = C .. 7 = I). *)
+val flag : t -> int -> int
+
+(** [set_flag m b v] writes SREG bit [b]. *)
+val set_flag : t -> int -> bool -> unit
+
+(** Data-memory accessors with I/O-register dispatch. *)
+val read8 : t -> int -> int
+
+val write8 : t -> int -> int -> unit
+val read16 : t -> int -> int
+val write16 : t -> int -> int -> unit
+
+(** Pointer-pair accessors (X = r26:27, Y = r28:29, Z = r30:31). *)
+val xreg : t -> int
+
+val yreg : t -> int
+val zreg : t -> int
+val set_xreg : t -> int -> unit
+val set_yreg : t -> int -> unit
+val set_zreg : t -> int -> unit
+
+(** Execute exactly one instruction; no-op when halted. *)
+val step : t -> unit
+
+(** Run until halt, SLEEP, the preemption horizon, or [max_cycles]. *)
+val run : ?max_cycles:int -> t -> stop
+
+(** Advance the clock without executing, attributing the span to idle
+    time; models a sleeping CPU. *)
+val fast_forward : t -> int -> unit
+
+(** Earliest cycle at which a peripheral could wake a sleeping CPU. *)
+val next_wake : t -> int
+
+(** Run a standalone program to completion, fast-forwarding through
+    SLEEP — bare-metal semantics with no OS.  [None] when the cycle
+    budget ran out. *)
+val run_native : ?max_cycles:int -> t -> halt option

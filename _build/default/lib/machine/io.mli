@@ -1,0 +1,63 @@
+(** Simulated peripherals and their I/O registers (6-bit I/O-space
+    addresses, as used by IN/OUT).  Timers are derived arithmetically
+    from the cycle counter, keeping simulation fast. *)
+
+(* Register map. *)
+val adcl : int
+val adch : int
+val adcsra : int
+val radio_status : int
+val radio_data : int
+
+(* TCNT3 is reserved by the SenSmart kernel as the global clock. *)
+val tcnt3l : int
+val tcnt3h : int
+val tcnt0 : int
+val tccr0 : int
+val tifr : int
+val spl : int
+val sph : int
+val sreg : int
+
+(* ADCSRA bits. *)
+val adsc_bit : int
+val aden_bit : int
+
+(* Radio status bits. *)
+val tx_ready_bit : int
+val rx_avail_bit : int
+
+(* Timing parameters (cycles at 7.3728 MHz). *)
+val timer0_prescale : int
+val timer3_prescale : int
+val adc_conversion_cycles : int
+val radio_byte_cycles : int
+val timer0_overflow_period : int
+
+type t = {
+  mutable adc_enabled : bool;
+  mutable adc_start : int option;
+  mutable adc_value : int;
+  mutable adc_seq : int;
+  mutable tov0_epoch : int;
+  mutable radio_busy_until : int;
+  mutable radio_tx : int list;  (** transmitted bytes, newest first *)
+  mutable radio_rx : (int * int) list;  (** (available-at cycle, byte) *)
+  mutable radio_tx_count : int;
+}
+
+val create : unit -> t
+
+(** Deterministic ADC sample source (LFSR of the sample index, 10 bits):
+    the "randomly generated incoming data" of the paper's workloads. *)
+val sample : int -> int
+
+(** Earliest future cycle at which a peripheral event can wake a
+    sleeping CPU. *)
+val next_wake : t -> cycles:int -> int
+
+val read : t -> cycles:int -> int -> int
+val write : t -> cycles:int -> int -> int -> unit
+
+(** Queue an incoming radio byte, available [after] cycles from now. *)
+val inject_rx : t -> cycles:int -> after:int -> int -> unit

@@ -1,0 +1,22 @@
+(* Physical memory map of the simulated mote, matching Figure 2 of the
+   paper: a 0x100-byte I/O area followed by 4 KB of SRAM, for a data
+   space of M = 0x1100 bytes; 64 K words (128 KB) of flash. *)
+
+let io_size = 0x100
+
+(** First SRAM address (bottom of the application area). *)
+let sram_base = 0x100
+
+(** One past the last data address; the paper's [M]. *)
+let data_size = 0x1100
+
+(** Flash size in 16-bit words (128 KB). *)
+let flash_words = 0x10000
+
+(** Initial (reset) stack pointer: top of data memory.  AVR PUSH stores
+    at SP then decrements, so an empty stack has SP = last byte. *)
+let initial_sp = data_size - 1
+
+(* Data-space address of an I/O register: IN/OUT use 6-bit I/O-space
+   addresses that live at 0x20..0x5F in data space, as on a real AVR. *)
+let io_data_addr io = 0x20 + io

@@ -1,0 +1,52 @@
+(** Maté-like bytecode virtual machine (the fully-virtualized comparison
+    point of Figure 6(c)).  Each bytecode is charged a fetch-decode-
+    dispatch cost on top of the operation, against the same clock and
+    timer constants as the rest of the reproduction. *)
+
+type op =
+  | Pushc of int  (** push a 16-bit constant *)
+  | Add
+  | Sub
+  | And
+  | Xor
+  | Shr
+  | Dup
+  | Drop
+  | Load of int  (** push heap slot *)
+  | Store of int  (** pop into heap slot *)
+  | Jmp of int  (** absolute bytecode address *)
+  | Jnz of int  (** pop; jump if non-zero *)
+  | Jlt of int  (** pop b, pop a; jump if a < b *)
+  | GetTimer  (** push the 16-bit global clock (Timer3 ticks) *)
+  | Sleep  (** idle until the next timer event *)
+  | Halt
+
+(** Native cycles per bytecode dispatch / per operation body. *)
+val dispatch_cycles : int
+
+val op_cycles : int
+
+type vm = {
+  code : op array;
+  heap : int array;
+  stack : int Stack.t;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable idle_cycles : int;
+  mutable executed : int;
+  mutable halted : bool;
+}
+
+val create : op array -> vm
+
+exception Stack_underflow
+
+val step : vm -> unit
+
+(** Run to Halt or the cycle budget; returns whether the program halted. *)
+val run : ?max_cycles:int -> vm -> bool
+
+(** Bytecode equivalent of {!Programs.Periodic_task}: [activations]
+    periods of [comp_units] compute iterations each; heap slot 1 counts
+    completed activations. *)
+val periodic_capsule : period:int -> activations:int -> comp_units:int -> op array

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Asm Ast Avr List Machine Parser Printf

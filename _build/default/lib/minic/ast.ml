@@ -1,0 +1,57 @@
+(* Abstract syntax of minic, the small C-like language used to write
+   sensornet programs at the level the paper's applications are written
+   (standing in for nesC; see DESIGN.md).  All scalars are unsigned
+   16-bit integers; byte arrays live in the data section. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt  (** unsigned *)
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Num of int
+  | Var of string  (** global or local scalar *)
+  | Index of string * expr  (** byte-array element, zero-extended *)
+  | Unop of [ `Neg | `Not ] * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Builtin of string * expr list
+      (** timer3(), adc(), io_in(k), radio_ready(), ... *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** arr[e1] = e2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr  (** evaluated for effect (calls, io_out) *)
+  | Sleep
+  | Halt
+
+type func = {
+  fname : string;
+  params : string list;
+  locals : string list;  (** declared [var x;] / [var x = e;] order *)
+  body : stmt list;
+}
+
+type global =
+  | Scalar of string  (** var name; 16-bit, zero-initialized *)
+  | Array of string * int  (** var name[k]; byte array *)
+
+type program = {
+  name : string;
+  globals : global list;
+  funcs : func list;
+}

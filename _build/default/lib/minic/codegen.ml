@@ -1,0 +1,242 @@
+(* Code generator: minic -> the assembler DSL.
+
+   Conventions (a simplified avr-gcc-like ABI):
+   - all values are unsigned 16-bit; expression results live in r24:25;
+   - r22:23 holds the right operand of a binary op, r16-r18 are scratch;
+   - Y (r28:29) is the frame pointer; locals sit at Y+1..Y+2L;
+   - arguments are pushed by the caller (hi byte first, so each parameter
+     reads lo-at-offset/hi-above like a local) and addressed through Y
+     above the saved registers and return address;
+   - function results return in r24:25.
+
+   The generated shapes — frame prologues that move SP, LDD/STD frame
+   accesses, pushed arguments, call-heavy code — are exactly the
+   patterns SenSmart's rewriter targets, which is the point of feeding
+   compiled programs through the pipeline. *)
+
+open Asm.Macros
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type env = {
+  prog : Ast.program;
+  func : Ast.func;
+  frame : int;  (** bytes of locals *)
+  offsets : (string * int) list;  (** local/param -> Y displacement of lo byte *)
+  epilogue : string;
+}
+
+let lo16 v = v land 0xFF
+let hi16 v = (v lsr 8) land 0xFF
+
+let is_array env name =
+  List.exists
+    (function Ast.Array (n, _) -> n = name | Scalar _ -> false)
+    env.prog.globals
+
+let is_scalar_global env name =
+  List.exists
+    (function Ast.Scalar n -> n = name | Array _ -> false)
+    env.prog.globals
+
+let find_func env name =
+  List.find_opt (fun (f : Ast.func) -> f.fname = name) env.prog.funcs
+
+(* Y displacements: locals at Y+1.., then saved r29/r28 and the return
+   address (4 bytes), then the arguments, last-pushed lowest. *)
+let layout (prog : Ast.program) (f : Ast.func) ~epilogue : env =
+  let frame = 2 * List.length f.locals in
+  let locals =
+    List.mapi (fun i name -> (name, 1 + (2 * i))) f.locals
+  in
+  let n = List.length f.params in
+  (* Arguments are pushed hi-then-lo, so each lives lo-at-off,
+     hi-at-off+1 like a local; see the stack picture in compile_func. *)
+  let params =
+    List.mapi
+      (fun i name -> (name, frame + 5 + (2 * (n - 1 - i))))
+      f.params
+  in
+  let dup =
+    List.find_opt
+      (fun (name, _) -> List.mem_assoc name params)
+      locals
+  in
+  (match dup with
+   | Some (name, _) -> fail "%s: local %s shadows a parameter" f.fname name
+   | None -> ());
+  if frame + 6 + (2 * n) > 62 then fail "%s: frame too large" f.fname;
+  { prog; func = f; frame; offsets = locals @ params; epilogue }
+
+(* Evaluate a condition-free of (top of result): r24:25. *)
+let rec expr env (e : Ast.expr) : Asm.Ast.stmt list =
+  match e with
+  | Num v -> [ ldi 24 (lo16 v); ldi 25 (hi16 v) ]
+  | Var name -> load_var env name
+  | Index (name, idx) ->
+    if not (is_array env name) then fail "%s is not an array" name;
+    expr env idx
+    @ Asm.Macros.ldi_data 26 27 name 0
+    @ [ add 26 24; adc 27 25; ld 24 Avr.Isa.X; ldi 25 0 ]
+  | Unop (`Neg, e) -> expr env e @ [ com 24; com 25; adiw 24 1 ]
+  | Unop (`Not, e) -> expr env e @ [ com 24; com 25 ]
+  | Binop (op, a, b) ->
+    expr env a
+    @ [ push 24; push 25 ]
+    @ expr env b
+    @ [ movw 22 24; pop 25; pop 24 ]
+    @ binop op
+  | Call (name, args) ->
+    (match find_func env name with
+     | None -> fail "call to unknown function %s" name
+     | Some f ->
+       if List.length f.params <> List.length args then
+         fail "%s expects %d arguments" name (List.length f.params));
+    List.concat_map (fun a -> expr env a @ [ push 25; push 24 ]) args
+    @ [ call ("f_" ^ name) ]
+    @ List.concat_map (fun _ -> [ pop 0; pop 0 ]) args
+  | Builtin (name, args) -> builtin env name args
+
+and load_var env name =
+  match List.assoc_opt name env.offsets with
+  | Some off -> [ ldd 24 Avr.Isa.Ybase off; ldd 25 Avr.Isa.Ybase (off + 1) ]
+  | None ->
+    if is_scalar_global env name then [ lds 24 name; lds_off 25 name 1 ]
+    else if is_array env name then fail "array %s used as a scalar" name
+    else fail "unknown variable %s" name
+
+and binop (op : Ast.binop) : Asm.Ast.stmt list =
+  (* left in r24:25, right in r22:23 *)
+  match op with
+  | Add -> [ add 24 22; adc 25 23 ]
+  | Sub -> [ sub 24 22; sbc 25 23 ]
+  | BAnd -> [ and_ 24 22; and_ 25 23 ]
+  | BOr -> [ or_ 24 22; or_ 25 23 ]
+  | BXor -> [ eor 24 22; eor 25 23 ]
+  | Mul ->
+    (* low 16 bits of the 16x16 product, via three hardware MULs *)
+    [ mul 24 22; movw 16 0;
+      mul 24 23; add 17 0;
+      mul 25 22; add 17 0;
+      movw 24 16 ]
+  | Shl ->
+    let top = fresh "shl" and done_ = fresh "shld" in
+    [ mov 18 22; lbl top; cpi 18 0; breq done_;
+      add 24 24; adc 25 25; dec 18; rjmp top; lbl done_ ]
+  | Shr ->
+    let top = fresh "shr" and done_ = fresh "shrd" in
+    [ mov 18 22; lbl top; cpi 18 0; breq done_;
+      lsr_ 25; ror 24; dec 18; rjmp top; lbl done_ ]
+  | Eq | Ne | Lt | Ge | Gt | Le ->
+    let done_ = fresh "cmp" in
+    let compare, branch =
+      match op with
+      | Eq -> ([ cp 24 22; cpc 25 23 ], breq done_)
+      | Ne -> ([ cp 24 22; cpc 25 23 ], brne done_)
+      | Lt -> ([ cp 24 22; cpc 25 23 ], brcs done_)
+      | Ge -> ([ cp 24 22; cpc 25 23 ], brcc done_)
+      | Gt -> ([ cp 22 24; cpc 23 25 ], brcs done_)
+      | Le -> ([ cp 22 24; cpc 23 25 ], brcc done_)
+      | _ -> assert false
+    in
+    compare @ [ ldi 24 1; ldi 25 0; branch; ldi 24 0; lbl done_ ]
+
+and builtin env name args =
+  let const_arg = function
+    | Ast.Num v -> v
+    | _ -> fail "%s needs a constant port argument" name
+  in
+  match (name, args) with
+  | "timer3", [] ->
+    [ in_ 24 Machine.Io.tcnt3l; in_ 25 Machine.Io.tcnt3h ]
+  | "adc", [] -> Asm.Macros.adc_sample
+  | "io_in", [ k ] -> [ in_ 24 (const_arg k land 0x3F); ldi 25 0 ]
+  | "io_out", [ k; e ] ->
+    let port = const_arg k land 0x3F in
+    expr env e @ [ out port 24 ]
+  | "radio_ready", [] ->
+    [ in_ 24 Machine.Io.radio_status; andi 24 Machine.Io.tx_ready_bit; ldi 25 0 ]
+  | "radio_send", [ e ] -> expr env e @ Asm.Macros.radio_send 24
+  | "radio_avail", [] ->
+    [ in_ 24 Machine.Io.radio_status; andi 24 Machine.Io.rx_avail_bit; ldi 25 0 ]
+  | "radio_recv", [] -> [ in_ 24 Machine.Io.radio_data; ldi 25 0 ]
+  | _ -> fail "unknown builtin %s/%d" name (List.length args)
+
+let rec stmt env (s : Ast.stmt) : Asm.Ast.stmt list =
+  match s with
+  | Assign (name, e) ->
+    expr env e
+    @ (match List.assoc_opt name env.offsets with
+       | Some off ->
+         [ std Avr.Isa.Ybase off 24; std Avr.Isa.Ybase (off + 1) 25 ]
+       | None ->
+         if is_scalar_global env name then [ sts name 24; sts_off name 1 25 ]
+         else fail "cannot assign to %s" name)
+  | Store (name, idx, e) ->
+    if not (is_array env name) then fail "%s is not an array" name;
+    expr env idx
+    @ [ push 24; push 25 ]
+    @ expr env e
+    @ [ pop 17; pop 16 ]
+    @ Asm.Macros.ldi_data 26 27 name 0
+    @ [ add 26 16; adc 27 17; st Avr.Isa.X 24 ]
+  | If (c, then_, else_) ->
+    let l_else = fresh "else" and l_end = fresh "endif" in
+    expr env c
+    @ [ mov 16 24; or_ 16 25; breq l_else ]
+    @ List.concat_map (stmt env) then_
+    @ [ jmp l_end; lbl l_else ]
+    @ List.concat_map (stmt env) else_
+    @ [ lbl l_end ]
+  | While (c, body) ->
+    let l_top = fresh "while" and l_end = fresh "wend" in
+    [ lbl l_top ]
+    @ expr env c
+    @ [ mov 16 24; or_ 16 25; breq l_end ]
+    @ List.concat_map (stmt env) body
+    @ [ rjmp l_top; lbl l_end ]
+  | Return (Some e) -> expr env e @ [ jmp env.epilogue ]
+  | Return None -> [ jmp env.epilogue ]
+  | Expr e -> expr env e
+  | Sleep -> [ sleep ]
+  | Halt -> [ break ]
+
+let compile_func (prog : Ast.program) (f : Ast.func) : Asm.Ast.stmt list =
+  let epilogue = "f_" ^ f.fname ^ "_ep" in
+  let env = layout prog f ~epilogue in
+  [ lbl ("f_" ^ f.fname); push 28; push 29;
+    in_ 28 Machine.Io.spl; in_ 29 Machine.Io.sph ]
+  @ (if env.frame > 0 then
+       [ sbiw 28 env.frame; out Machine.Io.spl 28; out Machine.Io.sph 29 ]
+     else [])
+  @ List.concat_map (stmt env) f.body
+  @ [ lbl epilogue ]
+  @ (if env.frame > 0 then
+       [ adiw 28 env.frame; out Machine.Io.spl 28; out Machine.Io.sph 29 ]
+     else [])
+  @ [ pop 29; pop 28; ret ]
+
+(** Compile a parsed program to assembler source.  The entry point calls
+    [main] and halts when it returns. *)
+let compile (prog : Ast.program) : Asm.Ast.program =
+  if not (List.exists (fun (f : Ast.func) -> f.fname = "main") prog.funcs) then
+    fail "no main function";
+  let data =
+    List.map
+      (function
+        | Ast.Scalar n -> { Asm.Ast.dname = n; size = 2; init = [] }
+        | Ast.Array (n, k) ->
+          if k <= 0 || k > 2048 then fail "array %s has size %d" n k;
+          { Asm.Ast.dname = n; size = k; init = [] })
+      prog.globals
+  in
+  Asm.Ast.program prog.name ~data
+    ((lbl "start" :: sp_init)
+     @ [ call "f_main"; break ]
+     @ List.concat_map (compile_func prog) prog.funcs)
+
+(** Front door: source text to an assembled image. *)
+let compile_source ~name (src : string) : Asm.Image.t =
+  Asm.Assembler.assemble (compile (Parser.parse ~name src))

@@ -1,0 +1,15 @@
+(** minic code generator: AST to the assembler DSL, with a simplified
+    avr-gcc-like ABI (r24:25 results, Y frame pointer, stack-passed
+    arguments).  The emitted shapes — SP-moving prologues, LDD/STD frame
+    accesses, call-heavy code — are the patterns the SenSmart rewriter
+    targets. *)
+
+exception Error of string
+
+(** Compile a parsed program; the entry point calls [main] and halts
+    when it returns.  Raises {!Error} on unknown names, arity
+    mismatches, or over-large frames. *)
+val compile : Ast.program -> Asm.Ast.program
+
+(** Parse and compile source text into an assembled image. *)
+val compile_source : name:string -> string -> Asm.Image.t

@@ -1,0 +1,179 @@
+(* Reference interpreter for minic: the executable semantics the code
+   generator is fuzzed against.  Pure 16-bit unsigned arithmetic; device
+   builtins are served by a pluggable [device] record so tests can supply
+   deterministic stubs (the compiled code talks to the simulated
+   hardware instead). *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type device = {
+  timer3 : unit -> int;
+  adc : unit -> int;
+  io_in : int -> int;
+  io_out : int -> int -> unit;
+  radio_ready : unit -> int;
+  radio_send : int -> unit;
+  radio_avail : unit -> int;
+  radio_recv : unit -> int;
+}
+
+(** A device that returns zeros and swallows output; fine for pure
+    computations. *)
+let null_device =
+  { timer3 = (fun () -> 0); adc = (fun () -> 0); io_in = (fun _ -> 0);
+    io_out = (fun _ _ -> ()); radio_ready = (fun () -> 1);
+    radio_send = ignore; radio_avail = (fun () -> 0);
+    radio_recv = (fun () -> 0) }
+
+type state = {
+  prog : Ast.program;
+  dev : device;
+  globals : (string, int ref) Hashtbl.t;
+  arrays : (string, int array) Hashtbl.t;
+  mutable halted : bool;
+  mutable steps : int;  (** fuel, to bound runaway loops *)
+}
+
+exception Returned of int
+exception Halted
+
+let m16 v = v land 0xFFFF
+
+let init ?(dev = null_device) (prog : Ast.program) : state =
+  let globals = Hashtbl.create 16 and arrays = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Scalar n -> Hashtbl.replace globals n (ref 0)
+      | Ast.Array (n, k) -> Hashtbl.replace arrays n (Array.make k 0))
+    prog.globals;
+  { prog; dev; globals; arrays; halted = false; steps = 0 }
+
+let find_func st name =
+  match List.find_opt (fun (f : Ast.func) -> f.fname = name) st.prog.funcs with
+  | Some f -> f
+  | None -> fail "unknown function %s" name
+
+let rec eval st (locals : (string, int ref) Hashtbl.t) (e : Ast.expr) : int =
+  st.steps <- st.steps - 1;
+  if st.steps <= 0 then fail "out of fuel";
+  match e with
+  | Num v -> m16 v
+  | Var name ->
+    (match Hashtbl.find_opt locals name with
+     | Some r -> !r
+     | None ->
+       (match Hashtbl.find_opt st.globals name with
+        | Some r -> !r
+        | None -> fail "unknown variable %s" name))
+  | Index (name, idx) ->
+    let arr =
+      match Hashtbl.find_opt st.arrays name with
+      | Some a -> a
+      | None -> fail "%s is not an array" name
+    in
+    let i = eval st locals idx in
+    if i >= Array.length arr then fail "index %d out of bounds for %s" i name;
+    arr.(i) land 0xFF
+  | Unop (`Neg, a) -> m16 (-eval st locals a)
+  | Unop (`Not, a) -> m16 (lnot (eval st locals a))
+  | Binop (op, a, b) ->
+    let x = eval st locals a in
+    let y = eval st locals b in
+    (match op with
+     | Add -> m16 (x + y)
+     | Sub -> m16 (x - y)
+     | Mul -> m16 (x * y)
+     | BAnd -> x land y
+     | BOr -> x lor y
+     | BXor -> x lxor y
+     | Shl -> if y land 0xFF >= 16 then 0 else m16 (x lsl (y land 0xFF))
+     | Shr -> if y land 0xFF >= 16 then 0 else x lsr (y land 0xFF)
+     | Eq -> if x = y then 1 else 0
+     | Ne -> if x <> y then 1 else 0
+     | Lt -> if x < y then 1 else 0
+     | Le -> if x <= y then 1 else 0
+     | Gt -> if x > y then 1 else 0
+     | Ge -> if x >= y then 1 else 0)
+  | Call (name, args) ->
+    let f = find_func st name in
+    if List.length f.params <> List.length args then
+      fail "%s arity mismatch" name;
+    let vals = List.map (eval st locals) args in
+    call st f vals
+  | Builtin (name, args) ->
+    let v = List.map (eval st locals) args in
+    (match (name, v) with
+     | "timer3", [] -> m16 (st.dev.timer3 ())
+     | "adc", [] -> st.dev.adc () land 0x3FF
+     | "io_in", [ k ] -> st.dev.io_in (k land 0x3F) land 0xFF
+     | "io_out", [ k; x ] -> st.dev.io_out (k land 0x3F) (x land 0xFF); x
+     | "radio_ready", [] -> st.dev.radio_ready ()
+     | "radio_send", [ x ] -> st.dev.radio_send (x land 0xFF); x
+     | "radio_avail", [] -> st.dev.radio_avail ()
+     | "radio_recv", [] -> st.dev.radio_recv () land 0xFF
+     | _ -> fail "unknown builtin %s" name)
+
+and exec st locals (s : Ast.stmt) : unit =
+  st.steps <- st.steps - 1;
+  if st.steps <= 0 then fail "out of fuel";
+  match s with
+  | Assign (name, e) ->
+    let v = eval st locals e in
+    (match Hashtbl.find_opt locals name with
+     | Some r -> r := v
+     | None ->
+       (match Hashtbl.find_opt st.globals name with
+        | Some r -> r := v
+        | None -> fail "cannot assign %s" name))
+  | Store (name, idx, e) ->
+    let arr =
+      match Hashtbl.find_opt st.arrays name with
+      | Some a -> a
+      | None -> fail "%s is not an array" name
+    in
+    let i = eval st locals idx in
+    let v = eval st locals e in
+    if i >= Array.length arr then fail "store %d out of bounds for %s" i name;
+    arr.(i) <- v land 0xFF
+  | If (c, t, f) ->
+    if eval st locals c <> 0 then List.iter (exec st locals) t
+    else List.iter (exec st locals) f
+  | While (c, body) ->
+    while (not st.halted) && eval st locals c <> 0 do
+      List.iter (exec st locals) body
+    done
+  | Return (Some e) -> raise (Returned (eval st locals e))
+  | Return None -> raise (Returned 0)
+  | Expr e -> ignore (eval st locals e)
+  | Sleep -> ()
+  | Halt ->
+    st.halted <- true;
+    raise Halted
+
+and call st (f : Ast.func) (args : int list) : int =
+  let locals = Hashtbl.create 8 in
+  List.iter2 (fun p v -> Hashtbl.replace locals p (ref v)) f.params args;
+  List.iter (fun l -> Hashtbl.replace locals l (ref 0)) f.locals;
+  match List.iter (exec st locals) f.body with
+  | () -> 0
+  | exception Returned v -> v
+
+(** Run [main] with a step budget; returns the final state (globals and
+    arrays hold the observable results). *)
+let run ?(fuel = 2_000_000) ?dev (prog : Ast.program) : state =
+  let st = init ?dev prog in
+  st.steps <- fuel;
+  (try ignore (call st (find_func st "main") []) with Halted -> ());
+  st
+
+let global st name =
+  match Hashtbl.find_opt st.globals name with
+  | Some r -> !r
+  | None -> fail "no global %s" name
+
+let array st name =
+  match Hashtbl.find_opt st.arrays name with
+  | Some a -> Array.copy a
+  | None -> fail "no array %s" name

@@ -1,0 +1,69 @@
+(* Hand-written lexer for minic. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (* var fun if else while return sleep halt *)
+  | PUNCT of string  (* ( ) { } [ ] , ; = == != < <= > >= + - * & | ^ << >> ~ *)
+  | EOF
+
+exception Error of string
+
+let keywords = [ "var"; "fun"; "if"; "else"; "while"; "return"; "sleep"; "halt" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let line = ref 1 in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do incr i done;
+        emit (INT (int_of_string (String.sub src start (!i - start))))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do incr i done;
+        emit (INT (int_of_string (String.sub src start (!i - start))))
+      end
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      emit (if List.mem word keywords then KW word else IDENT word)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "<<" | ">>") as op) ->
+        emit (PUNCT op);
+        i := !i + 2
+      | _ ->
+        (match c with
+         | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '<' | '>'
+         | '+' | '-' | '*' | '&' | '|' | '^' | '~' ->
+           emit (PUNCT (String.make 1 c));
+           incr i
+         | _ -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  List.rev (EOF :: !toks)

@@ -1,0 +1,13 @@
+(** Lexer for minic: integers (decimal and 0x hex), identifiers,
+    keywords, punctuation, and [//] line comments. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Error of string
+
+val tokenize : string -> token list

@@ -1,0 +1,310 @@
+(* Recursive-descent parser for minic.
+
+   Grammar (EBNF):
+
+     program  := (global | func)*
+     global   := "var" IDENT ("[" INT "]")? ";"
+     func     := "fun" IDENT "(" params? ")" block
+     params   := IDENT ("," IDENT)*
+     block    := "{" stmt* "}"
+     stmt     := "var" IDENT ("=" expr)? ";"        (local declaration)
+               | IDENT "=" expr ";"
+               | IDENT "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "return" expr? ";"
+               | "sleep" ";"
+               | "halt" ";"
+               | expr ";"
+     expr     := cmp
+     cmp      := bits (("=="|"!="|"<"|"<="|">"|">=") bits)?
+     bits     := shift (("&"|"|"|"^") shift)*
+     shift    := sum (("<<"|">>") sum)*
+     sum      := term (("+"|"-") term)*
+     term     := unary ("*" unary)*
+     unary    := ("-"|"~") unary | atom
+     atom     := INT | IDENT | IDENT "(" args? ")" | IDENT "[" expr "]"
+               | "(" expr ")"
+
+   Identifiers applied to arguments parse as calls; the code generator
+   decides whether a name is a builtin or a user function. *)
+
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail msg = raise (Error msg)
+
+let peek st = match st.toks with t :: _ -> t | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t ->
+    fail
+      (Printf.sprintf "expected %s, found %s" p
+         (match t with
+          | Lexer.INT n -> string_of_int n
+          | IDENT s | KW s -> s
+          | PUNCT s -> s
+          | EOF -> "<eof>"))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> fail "expected identifier"
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st; true
+  | _ -> false
+
+let accept_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st; true
+  | _ -> false
+
+let binop_of = function
+  | "+" -> Ast.Add | "-" -> Sub | "*" -> Mul
+  | "&" -> BAnd | "|" -> BOr | "^" -> BXor
+  | "<<" -> Shl | ">>" -> Shr
+  | "==" -> Eq | "!=" -> Ne
+  | "<" -> Lt | "<=" -> Le | ">" -> Gt | ">=" -> Ge
+  | op -> fail ("unknown operator " ^ op)
+
+let builtins =
+  [ "timer3"; "adc"; "io_in"; "io_out"; "radio_ready"; "radio_send";
+    "radio_avail"; "radio_recv" ]
+
+let rec expr st = cmp st
+
+and cmp st =
+  let left = bits st in
+  match peek st with
+  | Lexer.PUNCT (("==" | "!=" | "<" | "<=" | ">" | ">=") as op) ->
+    advance st;
+    Ast.Binop (binop_of op, left, bits st)
+  | _ -> left
+
+and bits st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT (("&" | "|" | "^") as op) ->
+      advance st;
+      go (Ast.Binop (binop_of op, acc, shift st))
+    | _ -> acc
+  in
+  go (shift st)
+
+and shift st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT (("<<" | ">>") as op) ->
+      advance st;
+      go (Ast.Binop (binop_of op, acc, sum st))
+    | _ -> acc
+  in
+  go (sum st)
+
+and sum st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT (("+" | "-") as op) ->
+      advance st;
+      go (Ast.Binop (binop_of op, acc, term st))
+    | _ -> acc
+  in
+  go (term st)
+
+and term st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "*" ->
+      advance st;
+      go (Ast.Binop (Mul, acc, unary st))
+    | _ -> acc
+  in
+  go (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.PUNCT "-" -> advance st; Ast.Unop (`Neg, unary st)
+  | Lexer.PUNCT "~" -> advance st; Ast.Unop (`Not, unary st)
+  | _ -> atom st
+
+and atom st =
+  match peek st with
+  | Lexer.INT n -> advance st; Ast.Num (n land 0xFFFF)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = expr st in
+    expect_punct st ")";
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if accept_punct st "(" then begin
+      let args =
+        if accept_punct st ")" then []
+        else begin
+          let rec go acc =
+            let a = expr st in
+            if accept_punct st "," then go (a :: acc)
+            else begin
+              expect_punct st ")";
+              List.rev (a :: acc)
+            end
+          in
+          go []
+        end
+      in
+      if List.mem name builtins then Ast.Builtin (name, args)
+      else Ast.Call (name, args)
+    end
+    else if accept_punct st "[" then begin
+      let e = expr st in
+      expect_punct st "]";
+      Ast.Index (name, e)
+    end
+    else Ast.Var name
+  | _ -> fail "expected expression"
+
+(* Statements: local declarations are hoisted by the caller. *)
+let rec stmt st ~locals : Ast.stmt list =
+  if accept_kw st "var" then begin
+    let name = expect_ident st in
+    locals := name :: !locals;
+    let init =
+      if accept_punct st "=" then Some (expr st) else None
+    in
+    expect_punct st ";";
+    match init with Some e -> [ Ast.Assign (name, e) ] | None -> []
+  end
+  else if accept_kw st "if" then begin
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    let then_ = block st ~locals in
+    let else_ = if accept_kw st "else" then block st ~locals else [] in
+    [ Ast.If (c, then_, else_) ]
+  end
+  else if accept_kw st "while" then begin
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    [ Ast.While (c, block st ~locals) ]
+  end
+  else if accept_kw st "return" then begin
+    let e = if accept_punct st ";" then None else Some (expr st) in
+    if e <> None then expect_punct st ";";
+    [ Ast.Return e ]
+  end
+  else if accept_kw st "sleep" then (expect_punct st ";"; [ Ast.Sleep ])
+  else if accept_kw st "halt" then (expect_punct st ";"; [ Ast.Halt ])
+  else begin
+    match peek st with
+    | Lexer.IDENT name ->
+      (* Lookahead to distinguish assignment/store from a call. *)
+      advance st;
+      if accept_punct st "=" then begin
+        let e = expr st in
+        expect_punct st ";";
+        [ Ast.Assign (name, e) ]
+      end
+      else if accept_punct st "[" then begin
+        let idx = expr st in
+        expect_punct st "]";
+        if accept_punct st "=" then begin
+          let e = expr st in
+          expect_punct st ";";
+          [ Ast.Store (name, idx, e) ]
+        end
+        else fail "array expression statements are not useful"
+      end
+      else if accept_punct st "(" then begin
+        (* Re-parse as call expression statement. *)
+        let args =
+          if accept_punct st ")" then []
+          else begin
+            let rec go acc =
+              let a = expr st in
+              if accept_punct st "," then go (a :: acc)
+              else begin
+                expect_punct st ")";
+                List.rev (a :: acc)
+              end
+            in
+            go []
+          end
+        in
+        expect_punct st ";";
+        let e =
+          if List.mem name builtins then Ast.Builtin (name, args)
+          else Ast.Call (name, args)
+        in
+        [ Ast.Expr e ]
+      end
+      else fail ("lone identifier " ^ name)
+    | _ -> fail "expected statement"
+  end
+
+and block st ~locals : Ast.stmt list =
+  expect_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.concat (List.rev acc)
+    else go (stmt st ~locals :: acc)
+  in
+  go []
+
+let parse ~name (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "var" ->
+      advance st;
+      let gname = expect_ident st in
+      if accept_punct st "[" then begin
+        let size = match peek st with
+          | Lexer.INT n -> advance st; n
+          | _ -> fail "expected array size"
+        in
+        expect_punct st "]";
+        expect_punct st ";";
+        globals := Ast.Array (gname, size) :: !globals
+      end
+      else begin
+        expect_punct st ";";
+        globals := Ast.Scalar gname :: !globals
+      end;
+      go ()
+    | Lexer.KW "fun" ->
+      advance st;
+      let fname = expect_ident st in
+      expect_punct st "(";
+      let params =
+        if accept_punct st ")" then []
+        else begin
+          let rec go acc =
+            let p = expect_ident st in
+            if accept_punct st "," then go (p :: acc)
+            else begin
+              expect_punct st ")";
+              List.rev (p :: acc)
+            end
+          in
+          go []
+        end
+      in
+      let locals = ref [] in
+      let body = block st ~locals in
+      funcs :=
+        { Ast.fname; params; locals = List.rev !locals; body } :: !funcs;
+      go ()
+    | _ -> fail "expected top-level var or fun"
+  in
+  go ();
+  { Ast.name; globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for minic.  See the implementation header
+    for the grammar. *)
+
+exception Error of string
+
+val parse : name:string -> string -> Ast.program

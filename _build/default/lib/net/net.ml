@@ -1,0 +1,120 @@
+(* Multi-mote network simulation: the paper's application context is
+   "multi-hop networking" on numerous unreliable devices, so this module
+   runs several simulated motes — each with its own SenSmart kernel —
+   in lockstep and carries radio bytes between them.
+
+   Radio model: transmission is broadcast to all neighbours, with a
+   propagation+MAC delay per byte and optional deterministic loss (an
+   LFSR keyed by link and sequence number, so runs are reproducible).
+   Collisions are not modeled; the byte channel of {!Machine.Io} already
+   serializes each sender.  Nodes advance in quanta of a few thousand
+   cycles, which bounds clock skew between motes to one quantum. *)
+
+type node = {
+  id : int;
+  kernel : Kernel.t;
+  mutable neighbours : int list;
+  mutable consumed_tx : int;  (** bytes of this node's TX log already routed *)
+  mutable finished : bool;
+}
+
+type t = {
+  nodes : node array;
+  quantum : int;  (** lockstep cycle quantum *)
+  latency : int;  (** cycles from transmit to neighbour reception *)
+  loss_permille : int;  (** per-byte drop rate, 0..1000 *)
+  mutable loss_state : int;  (** LFSR for reproducible losses *)
+  mutable routed : int;  (** delivered byte count *)
+  mutable dropped : int;
+}
+
+(** [create ~images ...] boots one kernel per element of [images] (each
+    a list of application images for that mote). *)
+let create ?(quantum = 5_000) ?(latency = 2_000) ?(loss_permille = 0)
+    ?config (images : Asm.Image.t list list) : t =
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun id imgs ->
+           { id; kernel = Kernel.boot ?config imgs; neighbours = [];
+             consumed_tx = 0; finished = false })
+         images)
+  in
+  { nodes; quantum; latency; loss_permille; loss_state = 0xACE1;
+    routed = 0; dropped = 0 }
+
+(** Declare a bidirectional link. *)
+let link t a b =
+  let add n m =
+    if not (List.mem m n.neighbours) then n.neighbours <- m :: n.neighbours
+  in
+  add t.nodes.(a) b;
+  add t.nodes.(b) a
+
+let chain t =
+  for i = 0 to Array.length t.nodes - 2 do
+    link t i (i + 1)
+  done
+
+let lfsr_step x =
+  let x' = x lsr 1 in
+  if x land 1 = 1 then x' lxor 0xB400 else x'
+
+let lose t =
+  t.loss_state <- lfsr_step t.loss_state;
+  t.loss_state mod 1000 < t.loss_permille
+
+(* Route bytes transmitted since the last exchange to all neighbours. *)
+let exchange t =
+  Array.iter
+    (fun n ->
+      let io = n.kernel.m.io in
+      let total = io.radio_tx_count in
+      if total > n.consumed_tx then begin
+        (* radio_tx is newest-first; take the fresh suffix in send order. *)
+        let fresh = total - n.consumed_tx in
+        let bytes =
+          List.filteri (fun i _ -> i < fresh) io.radio_tx |> List.rev
+        in
+        n.consumed_tx <- total;
+        List.iter
+          (fun b ->
+            List.iter
+              (fun peer ->
+                if lose t then t.dropped <- t.dropped + 1
+                else begin
+                  let m = t.nodes.(peer).kernel.m in
+                  Machine.Io.inject_rx m.io ~cycles:m.cycles ~after:t.latency b;
+                  t.routed <- t.routed + 1
+                end)
+              n.neighbours)
+          bytes
+      end)
+    t.nodes
+
+(** Run the whole network until every node's tasks exit or [max_cycles]
+    elapse on each mote.  Returns the number of nodes still running. *)
+let run ?(max_cycles = 50_000_000) (t : t) : int =
+  let horizon = ref 0 in
+  let live () =
+    Array.fold_left (fun a n -> if n.finished then a else a + 1) 0 t.nodes
+  in
+  while live () > 0 && !horizon < max_cycles do
+    horizon := !horizon + t.quantum;
+    Array.iter
+      (fun n ->
+        if not n.finished then
+          match Kernel.run ~max_cycles:!horizon n.kernel with
+          | Machine.Cpu.Out_of_fuel -> ()
+          | Machine.Cpu.Halted _ -> n.finished <- true
+          | Machine.Cpu.Sleeping | Machine.Cpu.Preempted -> ())
+      t.nodes;
+    exchange t
+  done;
+  live ()
+
+let node t i = t.nodes.(i)
+
+(** Bytes a node has received and not yet consumed (diagnostics). *)
+let pending_rx t i =
+  List.length (node t i).kernel.m.io.radio_rx

@@ -1,0 +1,48 @@
+(** Multi-mote network simulation: several simulated motes — each
+    running its own SenSmart kernel — advance in lockstep quanta, and
+    radio bytes are carried between linked neighbours with a per-byte
+    latency and reproducible (LFSR-driven) loss.  Broadcast semantics;
+    collisions are not modeled. *)
+
+type node = {
+  id : int;
+  kernel : Kernel.t;
+  mutable neighbours : int list;
+  mutable consumed_tx : int;
+  mutable finished : bool;
+}
+
+type t = {
+  nodes : node array;
+  quantum : int;
+  latency : int;
+  loss_permille : int;
+  mutable loss_state : int;
+  mutable routed : int;  (** delivered bytes *)
+  mutable dropped : int;  (** lost bytes *)
+}
+
+(** Boot one mote per element; each element lists the mote's
+    application images. *)
+val create :
+  ?quantum:int ->
+  ?latency:int ->
+  ?loss_permille:int ->
+  ?config:Kernel.config ->
+  Asm.Image.t list list ->
+  t
+
+(** Declare a bidirectional link between two motes. *)
+val link : t -> int -> int -> unit
+
+(** Link the motes into a chain 0-1-2-... *)
+val chain : t -> unit
+
+(** Run until every mote's tasks exit or [max_cycles] elapse per mote;
+    returns how many motes are still running. *)
+val run : ?max_cycles:int -> t -> int
+
+val node : t -> int -> node
+
+(** Bytes a mote has received but not yet consumed. *)
+val pending_rx : t -> int -> int

@@ -1,0 +1,1 @@
+lib/programs/am_bench.ml: Asm Avr Common

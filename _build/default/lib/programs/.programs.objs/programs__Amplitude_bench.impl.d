@@ -1,0 +1,1 @@
+lib/programs/amplitude_bench.ml: Asm Common Machine

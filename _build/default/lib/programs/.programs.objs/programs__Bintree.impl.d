@@ -1,0 +1,1 @@
+lib/programs/bintree.ml: Asm Avr Common List Machine

@@ -1,0 +1,1 @@
+lib/programs/common.ml: Asm

@@ -1,0 +1,1 @@
+lib/programs/crc_bench.ml: Array Asm Avr Common

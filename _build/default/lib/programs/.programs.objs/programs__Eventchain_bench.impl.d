@@ -1,0 +1,1 @@
+lib/programs/eventchain_bench.ml: Asm Common List Printf

@@ -1,0 +1,1 @@
+lib/programs/lfsr_bench.ml: Asm Common

@@ -1,0 +1,1 @@
+lib/programs/minic_suite.ml: Crc_bench Eventchain_bench Lfsr_bench List Minic

@@ -1,0 +1,1 @@
+lib/programs/periodic_task.ml: Asm Common Machine

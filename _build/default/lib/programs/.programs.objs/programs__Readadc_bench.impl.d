@@ -1,0 +1,1 @@
+lib/programs/readadc_bench.ml: Asm Avr Common Machine

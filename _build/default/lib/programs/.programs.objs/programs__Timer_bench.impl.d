@@ -1,0 +1,1 @@
+lib/programs/timer_bench.ml: Asm Common Machine

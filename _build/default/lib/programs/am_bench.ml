@@ -1,0 +1,36 @@
+(* "am" kernel benchmark: active-message transmission.  Builds packets
+   (header, LFSR payload, additive checksum) in the heap and pushes them
+   byte-by-byte through the radio, polling for TX-ready.  I/O-bound: the
+   radio byte time dominates, so OS overhead is mostly hidden — the same
+   behaviour the t-kernel paper reports for its "am" benchmark. *)
+
+open Asm.Macros
+
+let payload = 12
+let packet = payload + 4 (* 2 header + payload + 2 checksum *)
+
+let program ?(packets = 6) () =
+  let build =
+    ldi_data 26 27 "pkt" 0
+    @ [ ldi 16 0xAA; st Avr.Isa.X_inc 16; ldi 16 0x55; st Avr.Isa.X_inc 16;
+        (* payload from the LFSR; running 8-bit sum in r19 *)
+        ldi 19 0 ]
+    @ loop_n 17 payload
+        (Common.lfsr_step ~creg:18 @ [ st Avr.Isa.X_inc 24; add 19 24 ])
+    @ [ st Avr.Isa.X_inc 19; com 19; st Avr.Isa.X_inc 19 ]
+  in
+  let send =
+    ldi_data 26 27 "pkt" 0
+    @ loop_n 17 packet ([ ld 20 Avr.Isa.X_inc ] @ Common.radio_send 20)
+  in
+  Asm.Ast.program "am"
+    ~data:[ { dname = "pkt"; size = packet; init = [] }; Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ Common.lfsr_seed 0xBEEF
+     @ [ ldi 18 0xB4; ldi 22 0; ldi 23 0 ]
+     @ loop_n 21 packets (build @ send @ [ subi 22 (-packet); sbci 23 0xFF ])
+     @ Common.store_result16 22 23
+     @ [ break ])
+
+(** Total bytes the benchmark should transmit. *)
+let expected_bytes ?(packets = 6) () = packets * packet

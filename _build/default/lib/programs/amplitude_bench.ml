@@ -1,0 +1,47 @@
+(* "amplitude" kernel benchmark: windows of ADC samples reduced to
+   max-min amplitudes, the classic sensing inner loop (cf. VigilNet's
+   amplitude detection).  Mixes ADC polling I/O with 16-bit compares. *)
+
+open Asm.Macros
+
+let window = 8
+
+let program ?(windows = 10) () =
+  let one_window =
+    (* min in r20:21, max in r22:23 *)
+    [ ldi 20 0xFF; ldi 21 0xFF; ldi 22 0; ldi 23 0 ]
+    @ loop_n 19 window
+        (Common.adc_sample
+        @ (let nmin = fresh "nmin" and nmax = fresh "nmax" in
+           [ cp 24 20; cpc 25 21; brcc nmin; mov 20 24; mov 21 25; lbl nmin;
+             cp 22 24; cpc 23 25; brcc nmax; mov 22 24; mov 23 25; lbl nmax ]))
+    (* amplitude = max - min, accumulated into r14:15 via the heap *)
+    @ [ sub 22 20; sbc 23 21;
+        lds 16 "acc"; add 16 22; sts "acc" 16;
+        lds 17 "acc_hi"; adc 17 23; sts "acc_hi" 17 ]
+  in
+  Asm.Ast.program "amplitude"
+    ~data:[ { dname = "acc"; size = 1; init = [] };
+            { dname = "acc_hi"; size = 1; init = [] };
+            Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ loop_n 18 windows one_window
+     @ [ lds 24 "acc"; lds 25 "acc_hi" ]
+     @ Common.store_result16 24 25
+     @ [ break ])
+
+(** Reference amplitude accumulation over the deterministic ADC source. *)
+let expected ?(windows = 10) () =
+  let acc = ref 0 in
+  let seq = ref 0 in
+  for _ = 1 to windows do
+    let mn = ref 0xFFFF and mx = ref 0 in
+    for _ = 1 to window do
+      let v = Machine.Io.sample !seq in
+      incr seq;
+      if v < !mn then mn := v;
+      if v > !mx then mx := v
+    done;
+    acc := (!acc + (!mx - !mn)) land 0xFFFF
+  done;
+  !acc

@@ -1,0 +1,132 @@
+(* The sense-and-send stack-versatility workload of Section V-D.
+
+   The paper runs one data-feeding task that builds six binary trees in
+   the heap from random incoming data, plus N processing tasks that
+   recursively search randomly selected trees (12 recursion levels on
+   average, up to 15, at 15 bytes of stack per level).
+
+   Substitution note (see DESIGN.md): under SenSmart every task has an
+   isolated memory region, so the search tasks cannot walk the feeder's
+   trees directly.  The feeder here really builds the trees in its own
+   heap (driving the heap-pressure axis of Figure 7), while each search
+   task performs recursive descents whose depth distribution is derived
+   from the tree size exactly as a random-BST search would be
+   (avg ~2 log2 n, capped at 15).  This preserves both mechanisms the
+   experiment measures: heap growth squeezing the total stack space, and
+   deeper recursion growing each task's stack need. *)
+
+open Asm.Macros
+
+let node_bytes = 6 (* key16, left16, right16 *)
+
+(** The feeder: builds [trees] binary trees of [nodes] nodes each by
+    iterative random insertion, then loops forever sampling the sensor.
+    Heap: root table + node pool + allocation pointer + sense slot. *)
+let feeder ?(name = "feed") ?(sp_top = Machine.Layout.data_size - 1)
+    ?(trees = 6) ?(nodes = 20) () =
+  let pool_bytes = trees * nodes * node_bytes in
+  let walk = fresh "walk" and left = fresh "left" and place = fresh "place" in
+  let descend = fresh "descend" in
+  let alloc_node =
+    (* key in r24:25 -> new zeroed node, address left in Z. *)
+    [ lbl "alloc";
+      lds 26 "pool_next"; lds_off 27 "pool_next" 1;
+      st Avr.Isa.X_inc 24; st Avr.Isa.X_inc 25;
+      eor 16 16;
+      st Avr.Isa.X_inc 16; st Avr.Isa.X_inc 16;
+      st Avr.Isa.X_inc 16; st Avr.Isa.X_inc 16;
+      sts "pool_next" 26; sts_off "pool_next" 1 27;
+      movw 30 26; sbiw 30 6; ret ]
+  in
+  let insert =
+    (* X = address of a root/child slot, Z = new node. Iterative walk. *)
+    [ lbl "insert";
+      lbl walk;
+      ld 16 Avr.Isa.X_inc; ld 17 Avr.Isa.X;
+      mov 18 16; or_ 18 17; brne descend;
+      (* empty slot: X is at slot+1 — store hi there, then lo via pre-dec *)
+      lbl place; st Avr.Isa.X 31; st Avr.Isa.X_dec 30; ret;
+      lbl descend;
+      (* child node at r17:r16; compare keys *)
+      mov 26 16; mov 27 17;
+      ld 18 Avr.Isa.X_inc; ld 19 Avr.Isa.X;
+      ldd 2 Avr.Isa.Zbase 0; ldd 3 Avr.Isa.Zbase 1;
+      cp 2 18; cpc 3 19; brcs left;
+      (* go right: slot = child + 4 *)
+      mov 26 16; mov 27 17; adiw 26 4; rjmp walk;
+      lbl left; mov 26 16; mov 27 17; adiw 26 2; rjmp walk ]
+  in
+  let build_tree =
+    (* r20 = remaining trees; root slot = roots + 2*(trees - r20) *)
+    loop_n 21 nodes
+      (Common.lfsr_step ~creg:23
+      @ [ push 20; push 21; call "alloc" ]
+      @ ldi_data 26 27 "roots" 0
+      @ [ ldi 18 0; ldi 16 trees; sub 16 20; add 16 16;
+          add 26 16; adc 27 18;
+          call "insert"; pop 21; pop 20 ])
+  in
+  let live = fresh "live" in
+  Asm.Ast.program name
+    ~data:[ { dname = "roots"; size = 2 * trees; init = [] };
+            { dname = "pool"; size = pool_bytes; init = [] };
+            { dname = "pool_next"; size = 2; init = [] };
+            { dname = "sense"; size = 2; init = [] } ]
+    ((lbl "start" :: sp_init_at sp_top)
+     (* pool_next = &pool *)
+     @ ldi_data 16 17 "pool" 0
+     @ [ sts "pool_next" 16; sts_off "pool_next" 1 17 ]
+     @ Common.lfsr_seed 0x51F3
+     @ [ ldi 23 0xB4; ldi 20 trees ]
+     @ [ lbl "trees_loop" ] @ build_tree
+     @ [ dec 20; brne "trees_loop" ]
+     (* steady state: periodic sensing, forever *)
+     @ [ lbl live ]
+     @ Common.adc_sample
+     @ [ sts "sense" 24; sts_off "sense" 1 25; sleep; rjmp live ]
+     @ [ jmp "skip_subs" ] @ alloc_node @ insert @ [ lbl "skip_subs"; break ])
+
+(** Heap bytes the feeder occupies, the Figure 7 pressure term. *)
+let feeder_heap ?(trees = 6) ?(nodes = 20) () =
+  (2 * trees) + (trees * nodes * node_bytes) + 4
+
+(** Average recursion depth a search over a random tree of [nodes] nodes
+    sees (~2 log2 n), per the paper's 12-average/15-max at their sizes. *)
+let search_depth ~nodes =
+  let d = int_of_float (2.0 *. (log (float_of_int (max 2 nodes)) /. log 2.)) in
+  min 13 (max 3 d)
+
+(** A search task: batches of recursive descents with LFSR-chosen depth
+    in [base, base+3] (capped at 15), 15 bytes of stack per level (13
+    saved bytes + the 2-byte return address), then yield.  Runs forever;
+    the kernel terminates it if its stack cannot be accommodated. *)
+let search ?(name = "search") ?(sp_top = Machine.Layout.data_size - 1)
+    ?(nodes = 20) ?(batch = 12) ?(seed = 0x1357) () =
+  let forever = fresh "s_forever" in
+  let base = search_depth ~nodes in
+  let descend = fresh "s_go" in
+  Asm.Ast.program name
+    ~data:[ { dname = "searches"; size = 2; init = [] } ]
+    ((lbl "start" :: sp_init_at sp_top)
+     @ Common.lfsr_seed seed
+     @ [ ldi 22 0xB4 ]
+     @ [ lbl forever ]
+     @ loop_n 20 batch
+         (Common.lfsr_step ~creg:22
+         @ [ mov 16 24; andi 16 3; subi 16 ((-base) land 0xFF);
+             cpi 16 16 ]
+         @ (let ok = fresh "s_cap" in
+            [ brcs ok; ldi 16 15; lbl ok ])
+         @ [ push 24; push 25; mov 24 16; call "srch"; pop 25; pop 24;
+             lds 16 "searches"; subi 16 0xFF; sts "searches" 16;
+             lds_off 16 "searches" 1; sbci 16 0xFF; sts_off "searches" 1 16 ])
+     @ [ sleep; rjmp forever ]
+     (* srch(r24): 15 bytes of stack per recursion level *)
+     @ [ lbl "srch"; cpi 24 0; brne descend; ret; lbl descend ]
+     @ List.init 13 (fun _ -> push 24)
+     @ [ subi 24 1; call "srch" ]
+     @ List.init 13 (fun _ -> pop 16)
+     @ [ ret ])
+
+(** Peak stack bytes one search descent needs. *)
+let search_peak_stack ~nodes = ((search_depth ~nodes + 3) * 15) + 24

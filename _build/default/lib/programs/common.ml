@@ -1,0 +1,38 @@
+(* Shared building blocks for the benchmark programs: device access
+   sequences (radio, ADC, timers) and the 16-bit Galois LFSR that stands
+   in for "randomly generated incoming data" throughout the paper's
+   workloads.  Everything here is emitted as ordinary application code
+   and is subject to rewriting like the rest of the program. *)
+
+open Asm.Macros
+
+(* Register conventions used by these fragments:
+   r24:r25  primary 16-bit value (LFSR state, results)
+   r16-r19  scratch
+   X/Z      heap pointers *)
+
+(** One step of a 16-bit Galois LFSR (taps 0xB400) on r25:r24.  Keeps the
+    constant in [creg]; [creg] must be >= 16 and survive between calls if
+    the caller hoists [ldi creg 0xB4]. *)
+let lfsr_step ~creg =
+  let skip = fresh "lfsr_skip" in
+  [ lsr_ 25; ror 24; brcc skip; eor 25 creg; lbl skip ]
+
+(** Initialize the LFSR state (r25:r24) with a non-zero seed. *)
+let lfsr_seed seed =
+  let seed = if seed land 0xFFFF = 0 then 0xACE1 else seed land 0xFFFF in
+  ldi16 24 25 seed
+
+(* Device idioms are shared with the minic code generator and live in
+   {!Asm.Macros}; re-exported here for the benchmark programs. *)
+let radio_send = Asm.Macros.radio_send
+let adc_sample = Asm.Macros.adc_sample
+let read_timer3 = Asm.Macros.read_timer3
+
+(* The seven kernel benchmarks write a small result signature here so
+   that tests can verify native and naturalized runs compute the same
+   thing. *)
+let result_var = { Asm.Ast.dname = "bench_result"; size = 4; init = [] }
+
+let store_result16 rlo rhi =
+  [ sts "bench_result" rlo; sts_off "bench_result" 1 rhi ]

@@ -1,0 +1,66 @@
+(* "crc" kernel benchmark: CRC-16/CCITT over a heap buffer, repeated
+   [passes] times.  Dominated by sequential heap loads — the case the
+   grouped-access optimization and heap-displacement trampolines serve. *)
+
+open Asm.Macros
+
+let buf_size = 64
+
+let program ?(passes = 24) () =
+  let fill =
+    (* Fill the buffer with LFSR bytes. *)
+    ldi_data 26 27 "buf" 0
+    @ Common.lfsr_seed 0x1234
+    @ [ ldi 18 0xB4 ]
+    @ loop_n 17 buf_size (Common.lfsr_step ~creg:18 @ [ st Avr.Isa.X_inc 24 ])
+  in
+  let crc_byte =
+    (* crc ^= byte<<8; 8x: crc = crc&0x8000 ? (crc<<1)^0x1021 : crc<<1 *)
+    let bits = fresh "crc_bits" and noxor = fresh "crc_noxor" in
+    [ ld 16 Avr.Isa.X_inc; eor 25 16; ldi 17 8;
+      lbl bits; add 24 24; adc 25 25; brcc noxor;
+      eor 24 18; eor 25 19; lbl noxor; dec 17; brne bits ]
+  in
+  let one_pass =
+    ldi_data 26 27 "buf" 0
+    @ [ ldi 24 0xFF; ldi 25 0xFF ]
+    @ loop_n 20 buf_size crc_byte
+  in
+  Asm.Ast.program "crc"
+    ~data:[ { dname = "buf"; size = buf_size; init = [] }; Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ fill
+     @ [ ldi 18 0x21; ldi 19 0x10 ]
+     @ loop_n 21 passes one_pass
+     @ Common.store_result16 24 25
+     @ [ break ])
+
+let expected ?(passes = 24) () =
+  ignore passes;
+  (* Computed by the reference OCaml model below. *)
+  let step x =
+    let x' = x lsr 1 in
+    if x land 1 = 1 then x' lxor 0xB400 else x'
+  in
+  let buf = Array.make buf_size 0 in
+  let st = ref 0x1234 in
+  for i = 0 to buf_size - 1 do
+    st := step !st;
+    buf.(i) <- !st land 0xFF
+  done;
+  let crc_pass () =
+    let crc = ref 0xFFFF in
+    Array.iter
+      (fun b ->
+        crc := !crc lxor (b lsl 8);
+        for _ = 1 to 8 do
+          let hi = !crc land 0x8000 <> 0 in
+          crc := (!crc lsl 1) land 0xFFFF;
+          if hi then crc := !crc lxor 0x1021
+        done)
+      buf;
+    !crc
+  in
+  (* Every pass recomputes from the same buffer, so the result is the
+     single-pass CRC. *)
+  crc_pass ()

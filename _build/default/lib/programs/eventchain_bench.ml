@@ -1,0 +1,47 @@
+(* "eventchain" kernel benchmark: a chain of event handlers dispatched
+   through function pointers stored in the heap, the split-transaction
+   idiom of event-driven sensornet code.  Exercises ICALL and hence the
+   runtime shift-table translation of program addresses. *)
+
+open Asm.Macros
+
+let handlers = 4
+
+let program ?(rounds = 60) () =
+  (* Handlers share one bump routine, as factored event-driven code
+     would; each adds i+1 to the 16-bit counter (amount in r18). *)
+  let bump =
+    [ lbl "bump";
+      lds 16 "counter"; add 16 18; sts "counter" 16;
+      lds 17 "counter_hi"; ldi 19 0; adc 17 19; sts "counter_hi" 17; ret ]
+  in
+  let handler i =
+    [ lbl (Printf.sprintf "h%d" i); ldi 18 (i + 1); call "bump"; ret ]
+  in
+  let install i =
+    (* Store handler i's word address into the heap pointer table. *)
+    [ Asm.Ast.Ldi_text_lo (16, Printf.sprintf "h%d" i);
+      sts_off "table" (2 * i) 16;
+      Asm.Ast.Ldi_text_hi (16, Printf.sprintf "h%d" i);
+      sts_off "table" ((2 * i) + 1) 16 ]
+  in
+  let dispatch i =
+    [ lds_off 30 "table" (2 * i); lds_off 31 "table" ((2 * i) + 1); icall ]
+  in
+  Asm.Ast.program "eventchain"
+    ~data:[ { dname = "table"; size = 2 * handlers; init = [] };
+            { dname = "counter"; size = 1; init = [] };
+            { dname = "counter_hi"; size = 1; init = [] };
+            Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ List.concat (List.init handlers install)
+     @ loop_n 20 rounds (List.concat (List.init handlers dispatch))
+     @ [ lds 24 "counter"; lds 25 "counter_hi" ]
+     @ Common.store_result16 24 25
+     @ [ jmp "end" ]
+     @ List.concat (List.init handlers handler)
+     @ bump
+     @ [ lbl "end"; break ])
+
+let expected ?(rounds = 60) () =
+  rounds * (handlers * (handlers + 1) / 2) land 0xFFFF

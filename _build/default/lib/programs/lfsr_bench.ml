@@ -1,0 +1,24 @@
+(* "lfsr" kernel benchmark: pure register computation — a 16-bit Galois
+   LFSR iterated [iters] times.  The tightest loop of the suite, so it
+   maximizes the relative cost of the software-trap branch counter. *)
+
+open Asm.Macros
+
+let program ?(iters = 2000) () =
+  Asm.Ast.program "lfsr"
+    ~data:[ Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ Common.lfsr_seed 0x1234
+     @ [ ldi 18 0xB4 ]
+     @ loop16 20 21 iters (Common.lfsr_step ~creg:18)
+     @ Common.store_result16 24 25
+     @ [ break ])
+
+(** Reference result, for checking native and naturalized runs agree. *)
+let expected ?(iters = 2000) () =
+  let step x =
+    let x' = x lsr 1 in
+    if x land 1 = 1 then x' lxor 0xB400 else x'
+  in
+  let rec go x n = if n = 0 then x else go (step x) (n - 1) in
+  go 0x1234 iters

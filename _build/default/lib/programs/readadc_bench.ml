@@ -1,0 +1,26 @@
+(* "readadc" kernel benchmark: sample the ADC [samples] times into a
+   circular heap buffer.  Nearly all time sits in the conversion poll
+   loop, making it I/O-bound like "am". *)
+
+open Asm.Macros
+
+let buf_size = 32
+
+let program ?(samples = 40) () =
+  let one =
+    Common.adc_sample
+    @ [ st Avr.Isa.X_inc 24;
+        (* wrap X at buf+32: compare low byte against buf_end *)
+        cpi 26 ((0x100 + buf_size) land 0xFF) ]
+    @ (let nw = fresh "nowrap" in
+       [ brne nw ] @ ldi_data 26 27 "buf" 0 @ [ lbl nw ])
+  in
+  Asm.Ast.program "readadc"
+    ~data:[ { dname = "buf"; size = buf_size; init = [] }; Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ ldi_data 26 27 "buf" 0
+     @ loop_n 20 samples one
+     @ Common.store_result16 24 25
+     @ [ break ])
+
+let expected ?(samples = 40) () = Machine.Io.sample (samples - 1)

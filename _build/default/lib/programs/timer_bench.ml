@@ -1,0 +1,23 @@
+(* "timer" kernel benchmark: poll Timer0 until it has ticked [ticks]
+   times.  Time is dominated by the hardware tick period, so the OS
+   overhead shows up only in how tightly the poll loop spins. *)
+
+open Asm.Macros
+
+let program ?(ticks = 48) () =
+  let wait_change = fresh "tick_wait" in
+  Asm.Ast.program "timer"
+    ~data:[ Common.result_var ]
+    ((lbl "start" :: sp_init)
+     @ [ in_ 16 Machine.Io.tcnt0; ldi 24 0; ldi 25 0 ]
+     @ loop_n 20 ticks
+         [ lbl wait_change; in_ 17 Machine.Io.tcnt0; cp 17 16;
+           breq wait_change; mov 16 17;
+           subi 24 0xFF; sbci 25 0xFF ]
+     @ Common.store_result16 24 25
+     @ [ break ])
+
+let expected ?(ticks = 48) () = ticks
+
+(** Minimum cycles the benchmark must take (hardware bound). *)
+let min_cycles ?(ticks = 48) () = ticks * Machine.Io.timer0_prescale

@@ -1,0 +1,1 @@
+lib/rewriter/naturalized.ml: Array Asm Shift_table

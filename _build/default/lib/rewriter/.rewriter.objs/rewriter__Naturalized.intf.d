@@ -1,0 +1,1 @@
+lib/rewriter/naturalized.mli: Asm Shift_table

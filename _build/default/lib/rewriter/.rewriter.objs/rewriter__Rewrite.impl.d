@@ -1,0 +1,1 @@
+lib/rewriter/rewrite.ml: Array Asm Avr Decode Encode Hashtbl Isa Kcells List Machine Naturalized Printf Shift_table Trampoline

@@ -1,0 +1,1 @@
+lib/rewriter/rewrite.mli: Asm Naturalized

@@ -1,0 +1,1 @@
+lib/rewriter/shift_table.ml: Array List

@@ -1,0 +1,1 @@
+lib/rewriter/trampoline.ml: Asm Avr Kcells List Machine Printf

@@ -1,0 +1,66 @@
+(* The contract between the rewriter-generated trampolines and the kernel
+   runtime: physical addresses of kernel SRAM cells that trampolines read
+   (displacements, bounds, the software-trap counter), and the syscall
+   numbers of the kernel entry points.
+
+   The kernel area occupies the top of data memory (Figure 2).  Cell
+   values are maintained by the kernel on every context switch and stack
+   relocation; trampolines only read them (except the trap counter and
+   the argument latch). *)
+
+(* The kernel area sits at the top of data memory (Figure 2) and has two
+   parts: a fixed 16-byte cell block at the very top, whose addresses are
+   baked into the trampolines, and a TCB save area just below it whose
+   size scales with the number of admitted tasks (16 + 37n bytes in all —
+   about 10% of the 4 KB data memory at typical task counts, matching the
+   paper's reported footprint). *)
+
+(** Fixed cell block: the 16 bytes below the top of data memory. *)
+let cells_base = 0x10F0
+let cells_size = 16
+
+(* Cells (physical byte addresses). *)
+let cnt = cells_base (* backward-branch trap counter, 1 byte, counts down *)
+let hdisp_lo = cells_base + 1 (* heap displacement: p_l - 0x100 *)
+let hdisp_hi = cells_base + 2
+let sdisp_lo = cells_base + 3 (* stack displacement: (p_u - M) mod 2^16 *)
+let sdisp_hi = cells_base + 4
+let floor_log_lo = cells_base + 5 (* lowest valid logical stack address *)
+let floor_log_hi = cells_base + 6
+let floor_phys_lo = cells_base + 7 (* physical stack floor for SP checks *)
+let floor_phys_hi = cells_base + 8
+let arg_lo = cells_base + 9 (* argument latch for get/set-SP and timer *)
+let arg_hi = cells_base + 10
+
+(** Bytes of saved context per task: r0..r31, SREG, SPL, SPH, PCL, PCH. *)
+let tcb_bytes = 37
+
+(** Application-area limit when [n] tasks are admitted: the TCB save
+    area occupies [n * tcb_bytes] bytes below the cell block. *)
+let app_limit_for ~tasks = cells_base - (tasks * tcb_bytes)
+
+(** Default kernel boundary assumed by single-application baselines
+    (the t-kernel model's protection line). *)
+let app_limit = 0x0FA0
+
+(* Stack headroom every check keeps in reserve for the trampolines' own
+   pushes and kernel-entry calls. *)
+let stack_reserve = 12
+
+(** Software-trap period: one out of [trap_period] backward branches
+    enters the kernel (Section IV-B). *)
+let trap_period = 256
+
+(* Syscall numbers. *)
+let sys_exit = 0
+let sys_yield = 1
+let sys_trap = 2
+let sys_fault = 3
+let sys_stack_grow = 4
+let sys_translate_z = 5
+let sys_getsp = 6
+let sys_setsp16 = 7
+let sys_setspl = 8
+let sys_setsph = 9
+let sys_timer3 = 10
+let sys_ijmp = 11

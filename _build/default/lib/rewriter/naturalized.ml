@@ -1,0 +1,30 @@
+(* Result of naturalizing one application image. *)
+
+type stats = {
+  patched : int;  (** instructions replaced in the text *)
+  trampolines : int;  (** distinct trampoline bodies emitted *)
+  merged : int;  (** trampoline requests satisfied by an existing body *)
+  shift_entries : int;  (** 16->32-bit inflations (shift-table rows) *)
+}
+
+type t = {
+  source : Asm.Image.t;
+  base : int;  (** flash word address where the naturalized program starts *)
+  words : int array;  (** patched text, relocated flash data, then trampolines *)
+  text_words : int;  (** patched text size (= original text + shift entries) *)
+  rodata_words : int;
+  support_words : int;  (** shared services + trampolines *)
+  shift : Shift_table.t;
+  heap_end_logical : int;  (** static heap bound used by the translation *)
+  entry : int;  (** naturalized entry point (absolute flash word address) *)
+  stats : stats;
+}
+
+(** Total flash words occupied when loaded at [base]. *)
+let total_words t = Array.length t.words
+
+let total_bytes t = 2 * total_words t
+
+(** Code inflation ratio relative to the original program (Figure 4's
+    y-axis is these byte counts). *)
+let inflation t = float_of_int (total_bytes t) /. float_of_int (Asm.Image.total_bytes t.source)

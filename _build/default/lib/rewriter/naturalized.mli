@@ -1,0 +1,27 @@
+(** Result of naturalizing one application image. *)
+
+type stats = {
+  patched : int;  (** instructions replaced in the text *)
+  trampolines : int;  (** distinct trampoline bodies emitted *)
+  merged : int;  (** trampoline requests satisfied by an existing body *)
+  shift_entries : int;  (** 16->32-bit inflations (shift-table rows) *)
+}
+
+type t = {
+  source : Asm.Image.t;
+  base : int;  (** flash word address the program is linked for *)
+  words : int array;  (** patched text, relocated flash data, trampolines *)
+  text_words : int;  (** patched text size (= original + shift entries) *)
+  rodata_words : int;
+  support_words : int;  (** shared services + trampolines *)
+  shift : Shift_table.t;
+  heap_end_logical : int;  (** static heap bound used by translation *)
+  entry : int;  (** naturalized entry point (absolute flash word) *)
+  stats : stats;
+}
+
+val total_words : t -> int
+val total_bytes : t -> int
+
+(** Naturalized size over original size (Figure 4's ratio). *)
+val inflation : t -> float

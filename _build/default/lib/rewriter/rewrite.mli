@@ -1,0 +1,23 @@
+(** The base-station binary rewriter (Section IV-A of the paper).
+
+    The patched text preserves the instruction count of the original
+    program; 16→32-bit inflations are recorded in the {!Shift_table}.
+    Trampolines — real AVR code — are appended after the program, with
+    identical bodies merged. *)
+
+exception Error of string
+
+type config = {
+  group_accesses : bool;
+      (** Section IV-C2: translate grouped LDD/STD runs once *)
+  group_sp : bool;  (** group IN/OUT SPL..SPH pairs into one kernel call *)
+  group_pushes : bool;  (** one stack check per PUSH run *)
+  preempt : bool;
+      (** patch backward branches with the software-trap counter;
+          [false] gives the "memory protection only" build of Figure 5 *)
+}
+
+val default_config : config
+
+(** Naturalize one image, to be loaded at flash word address [base]. *)
+val run : ?config:config -> base:int -> Asm.Image.t -> Naturalized.t

@@ -1,0 +1,60 @@
+(* The shift table of Section IV-C2: a sorted array of original
+   instruction addresses whose patched form grew from one 16-bit word to
+   a two-word JMP/CALL.  Because SenSmart preserves the instruction count
+   of the program, the naturalized address of any original address is
+
+     nat(a) = base + a + #[entries < a]
+
+   and the table supports the runtime translation of indirect branch
+   targets (the paper's 376-cycle "program memory" row of Table II). *)
+
+type t = {
+  entries : int array;  (* sorted original word addresses, one per inflation *)
+  base : int;  (* flash word address where the naturalized text begins *)
+}
+
+let create ~base entries_list =
+  let entries = Array.of_list (List.sort compare entries_list) in
+  { entries; base }
+
+let size t = Array.length t.entries
+
+(* Number of entries strictly below a, by binary search. *)
+let rank t a =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.entries.(mid) < a then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** Naturalized flash address of original instruction address [a].
+    Valid only for addresses that begin an instruction in the original
+    program. *)
+let to_naturalized t a = t.base + a + rank t a
+
+(** Inverse map, for diagnostics: original address of a naturalized text
+    address, or [None] if it falls inside an inserted word. *)
+let of_naturalized t n =
+  let a0 = n - t.base in
+  (* nat is strictly increasing; search for a with to_naturalized a = n. *)
+  let rec search lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let v = to_naturalized t mid - t.base in
+      if v = a0 then Some mid
+      else if v < a0 then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 a0
+
+(** Cycle cost the kernel charges for one runtime lookup: a binary
+    search over the table performed by kernel code on the MCU
+    (compare/branch per step plus fixed entry/exit overhead).  With the
+    paper's observation that an ISA with fixed-size instructions would
+    reduce this "to virtually zero", the cost scales with table size. *)
+let lookup_cycles t =
+  let n = max 1 (size t) in
+  let steps = int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.)) in
+  40 + (22 * steps)

@@ -1,0 +1,25 @@
+(** The shift table of Section IV-C2: the sorted original addresses of
+    instructions whose patched form grew from one to two words.
+    Supports the original→naturalized address mapping,
+    [nat(a) = base + a + #(entries < a)]. *)
+
+type t
+
+(** [create ~base entries] builds a table for a program whose
+    naturalized text starts at flash word [base]. *)
+val create : base:int -> int list -> t
+
+(** Number of inflation entries (rows of the on-node table). *)
+val size : t -> int
+
+(** Naturalized flash address of an original instruction address.  Only
+    meaningful for addresses that begin an instruction. *)
+val to_naturalized : t -> int -> int
+
+(** Inverse map for diagnostics; [None] if the address falls inside an
+    inserted word. *)
+val of_naturalized : t -> int -> int option
+
+(** Cycle cost charged for one runtime lookup (binary search performed
+    by kernel code on the MCU). *)
+val lookup_cycles : t -> int

@@ -1,0 +1,1 @@
+lib/tkernel/rewrite.ml: Array Asm Avr Decode Hashtbl Isa List Machine Printf Rewriter

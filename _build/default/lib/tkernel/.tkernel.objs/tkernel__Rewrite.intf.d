@@ -1,0 +1,1 @@
+lib/tkernel/rewrite.mli: Asm Hashtbl

@@ -1,0 +1,1 @@
+lib/tkernel/run.ml: Asm Hashtbl List Machine Printf Rewrite

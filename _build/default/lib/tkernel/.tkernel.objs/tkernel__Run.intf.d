@@ -1,0 +1,1 @@
+lib/tkernel/run.mli: Machine Rewrite

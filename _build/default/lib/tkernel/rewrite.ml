@@ -1,0 +1,277 @@
+(* t-kernel-like on-node rewriter.
+
+   The t-kernel performs code re-writing on the sensor node, one page at
+   a time, expanding patched instructions *in line* rather than through
+   merged trampolines.  Consequences the paper measures and that this
+   model reproduces:
+
+   - code inflation much higher than SenSmart's (Figure 4);
+   - steady-state execution slightly faster (Figure 5): its protection
+     only guards the kernel area — one bounds check, no logical-address
+     displacement, no heap/stack classification;
+   - a warm-up delay of roughly a second when a program first runs
+     (Figure 6(a)), modeled as a per-word rewriting charge;
+   - a single application, no per-task memory regions (Table I).
+
+   Implementation: the original binary is decoded and re-emitted through
+   the assembler with one label per original instruction, so the general
+   address relocation that in-line expansion requires comes from label
+   resolution.  Indirect branches still need a runtime map from original
+   to rewritten addresses; it is kept by the kernel and served through a
+   syscall, like the t-kernel's own resident translation. *)
+
+open Avr
+
+exception Unsupported of string
+
+(* Syscall numbers of the t-kernel model (disjoint from SenSmart's so a
+   mixed-up image fails loudly). *)
+let sys_trap = 64
+let sys_translate = 65
+let sys_fault = 66
+let sys_exit = 67
+let sys_ijmp = 68
+
+(* Kernel cells. *)
+let cnt_cell = Rewriter.Kcells.cells_base + 12 (* an unused cell slot *)
+let page_cell = Rewriter.Kcells.cells_base + 13 (* page-residency flag, set by the kernel *)
+
+(** Words per flash page (ATmega128), the granularity of the t-kernel's
+    on-node rewriting and of its translated-code layout. *)
+let page_words = 128
+
+(** Charge for on-node rewriting: dominated by flash page programming
+    (~10 ms per 128-word page on a MICA2), giving the ~1 s warm-up the
+    paper observed for typical programs. *)
+let warmup_cycles_per_word = 1150
+
+type t = {
+  source : Asm.Image.t;
+  image : Asm.Image.t;  (** rewritten program (assembled) *)
+  addr_map : (int, int) Hashtbl.t;  (** original -> rewritten word address *)
+  warmup_cycles : int;
+  padded_words : int;
+      (** flash words the t-kernel's page-granular layout occupies: the
+          rewritten code cannot pack across page boundaries (expected
+          half-page padding per rewritten page) and each page carries a
+          translation-table entry *)
+}
+
+let label_of a = Printf.sprintf "a%d" a
+
+let cond_of_bits bit if_set : Asm.Ast.cond =
+  match (bit, if_set) with
+  | 1, true -> Eq
+  | 1, false -> Ne
+  | 0, true -> Cs
+  | 0, false -> Cc
+  | 4, true -> Lt
+  | 4, false -> Ge
+  | 2, true -> Mi
+  | 2, false -> Pl
+  | _ -> raise (Unsupported (Printf.sprintf "branch on SREG bit %d" bit))
+
+let inverse : Asm.Ast.cond -> Asm.Ast.cond = function
+  | Eq -> Ne | Ne -> Eq | Cs -> Cc | Cc -> Cs
+  | Lt -> Ge | Ge -> Lt | Mi -> Pl | Pl -> Mi
+
+open Asm.Macros
+
+let sreg_io = Machine.Io.sreg
+
+(* In-line software-trap counter for a taken backward branch; ends by
+   jumping to the target label. *)
+let inline_counter target =
+  let skip_kernel = fresh "tk_nok" in
+  [ push 16; in_ 16 sreg_io; push 16;
+    Asm.Ast.I (Lds (16, cnt_cell)); subi 16 1; Asm.Ast.I (Sts (cnt_cell, 16));
+    brne skip_kernel; i (Syscall sys_trap); lbl skip_kernel;
+    pop 16; out sreg_io 16; pop 16;
+    jmp target ]
+
+(* In-line kernel-protection check of a pointer pair before the original
+   access: fault if the address reaches the kernel area. *)
+let inline_check ~avoid pl ph =
+  let s =
+    match List.find_opt (fun r -> not (List.mem r (pl :: ph :: avoid))) [ 16; 17; 18 ] with
+    | Some s -> s
+    | None -> raise (Unsupported "no scratch for t-kernel check")
+  in
+  let ok = fresh "tk_ok" in
+  let limit = Rewriter.Kcells.app_limit in
+  [ push s; in_ s sreg_io; push s;
+    ldi s ((limit lsr 8) land 0xFF); cpi pl (limit land 0xFF); cpc ph s;
+    brcs ok; i (Syscall sys_fault); lbl ok;
+    pop s; out sreg_io s; pop s ]
+
+(* Page-transfer gate: the t-kernel swaps translated code page by page,
+   so control transfers that leave the current (original) page must check
+   the destination page's residency before jumping.  In this reproduction
+   every page is resident, so only the fast path executes — but the gate's
+   code and cycles are real. *)
+let page_of a = a / page_words
+
+let inline_gate () =
+  let ok = fresh "tk_pg" in
+  [ push 16; in_ 16 sreg_io; push 16;
+    Asm.Ast.I (Lds (16, page_cell)); cpi 16 0; brne ok;
+    i Break (* unreachable: page faults cannot occur with all pages resident *);
+    lbl ok;
+    pop 16; out sreg_io 16; pop 16 ]
+
+let ptr_pair : Isa.ptr -> int = function
+  | X | X_inc | X_dec -> 26
+  | Y_inc | Y_dec -> 28
+  | Z_inc | Z_dec -> 30
+
+(** Rewrite [img] t-kernel-style. *)
+let run (img : Asm.Image.t) : t =
+  let decoded = Decode.program (Array.sub img.words 0 img.text_words) in
+  let rodata_words = Array.length img.words - img.text_words in
+  let has_rodata = rodata_words > 0 in
+  let translate (addr, insn) : Asm.Ast.stmt list =
+    let here = lbl (label_of addr) in
+    let next = addr + Isa.words insn in
+    let keep = [ here; i insn ] in
+    match (insn : Isa.t) with
+    | Brbs (bit, k) | Brbc (bit, k) ->
+      let if_set = match insn with Brbs _ -> true | _ -> false in
+      let tgt = next + k in
+      let c = cond_of_bits bit if_set in
+      if tgt <= addr then
+        (* Backward: inverted branch over the in-line counter. *)
+        let skip = fresh "tk_skip" in
+        [ here; br (inverse c) skip ] @ inline_counter (label_of tgt) @ [ lbl skip ]
+      else if page_of tgt <> page_of addr then
+        let skip = fresh "tk_skip" in
+        [ here; br (inverse c) skip ] @ inline_gate ()
+        @ [ jmp (label_of tgt); lbl skip ]
+      else [ here; br c (label_of tgt) ]
+    | Rjmp k ->
+      let tgt = next + k in
+      if tgt <= addr then here :: inline_counter (label_of tgt)
+      else if page_of tgt <> page_of addr then
+        (here :: inline_gate ()) @ [ jmp (label_of tgt) ]
+      else [ here; rjmp (label_of tgt) ]
+    | Jmp a ->
+      if a <= addr then here :: inline_counter (label_of a)
+      else if page_of a <> page_of addr then (here :: inline_gate ()) @ [ jmp (label_of a) ]
+      else [ here; jmp (label_of a) ]
+    | Rcall k ->
+      let tgt = next + k in
+      if page_of tgt <> page_of addr then (here :: inline_gate ()) @ [ call (label_of tgt) ]
+      else [ here; rcall (label_of tgt) ]
+    | Call a ->
+      if page_of a <> page_of addr then (here :: inline_gate ()) @ [ call (label_of a) ]
+      else [ here; call (label_of a) ]
+    | Ijmp -> [ here; i (Syscall sys_ijmp) ]
+    | Icall ->
+      [ here; push 30; push 31; i (Syscall sys_translate); icall;
+        pop 31; pop 30 ]
+    | Ld (rd, p) ->
+      let pl = ptr_pair p in
+      here :: (inline_check ~avoid:[ rd ] pl (pl + 1) @ [ i insn ])
+    | St (p, rr) ->
+      let pl = ptr_pair p in
+      here :: (inline_check ~avoid:[ rr ] pl (pl + 1) @ [ i insn ])
+    | Ldd (rd, b, _) ->
+      let pl = match b with Ybase -> 28 | Zbase -> 30 in
+      here :: (inline_check ~avoid:[ rd ] pl (pl + 1) @ [ i insn ])
+    | Std (b, _, rr) ->
+      let pl = match b with Ybase -> 28 | Zbase -> 30 in
+      here :: (inline_check ~avoid:[ rr ] pl (pl + 1) @ [ i insn ])
+    | Lds (_, a) | Sts (a, _) ->
+      if a >= Rewriter.Kcells.app_limit then
+        raise (Unsupported (Printf.sprintf "static access to kernel area 0x%04x" a));
+      keep
+    | Lpm (rd, inc) when has_rodata ->
+      (* Rodata moves to the end of the rewritten image; translate Z by
+         the (link-time) delta in line.  The delta is patched by the
+         caller after layout, via the "tk_lpm_delta" convention below. *)
+      ignore (rd, inc);
+      keep (* replaced after first assembly; see below *)
+    | Break -> [ here; i (Syscall sys_exit) ]
+    | _ -> keep
+  in
+  (* LPM delta handling: assemble once to learn the rodata displacement,
+     then assemble again with the in-line adjustment code. *)
+  let build ~lpm_delta =
+    let lpm_fix rd inc =
+      if lpm_delta = 0 then [ i (Lpm (rd, inc)) ]
+      else begin
+        if rd = 30 || rd = 31 then raise (Unsupported "lpm into Z with rodata");
+        let s = if rd = 16 then 17 else 16 in
+        let neg = (-lpm_delta) land 0xFFFF in
+        [ push s; in_ s sreg_io; push s;
+          subi 30 (neg land 0xFF); sbci 31 ((neg lsr 8) land 0xFF);
+          lpm rd ~inc;
+          subi 30 (lpm_delta land 0xFF); sbci 31 ((lpm_delta lsr 8) land 0xFF);
+          pop s; out sreg_io s; pop s ]
+      end
+    in
+    let stmts =
+      List.concat_map
+        (fun (addr, insn) ->
+          match (insn : Isa.t) with
+          | Lpm (rd, inc) when has_rodata -> lbl (label_of addr) :: lpm_fix rd inc
+          | _ -> translate (addr, insn))
+        decoded
+    in
+    let flash_data =
+      if has_rodata then
+        [ { Asm.Ast.fname = "tk_rodata";
+            fwords = Array.to_list (Array.sub img.words img.text_words rodata_words) } ]
+      else []
+    in
+    Asm.Assembler.assemble
+      (Asm.Ast.program (img.name ^ ".tk") ~flash_data stmts)
+  in
+  let first = build ~lpm_delta:0 in
+  let final =
+    if has_rodata then begin
+      let new_base =
+        match Asm.Image.find_symbol first "tk_rodata" with
+        | Some (Flash a) -> a
+        | _ -> assert false
+      in
+      (* Word addresses -> byte delta. *)
+      build ~lpm_delta:(2 * (new_base - img.text_words))
+    end
+    else first
+  in
+  (* Rebuild the rodata delta check: the second assembly may move the
+     rodata if the fix-up code changed the text size; iterate once more
+     if needed (the fix-up size is delta-independent, so this
+     converges immediately). *)
+  let final =
+    if has_rodata then begin
+      let b1 =
+        match Asm.Image.find_symbol final "tk_rodata" with
+        | Some (Flash a) -> a
+        | _ -> assert false
+      in
+      build ~lpm_delta:(2 * (b1 - img.text_words))
+    end
+    else final
+  in
+  let addr_map = Hashtbl.create 256 in
+  List.iter
+    (fun (addr, _) ->
+      match Asm.Image.find_symbol final (label_of addr) with
+      | Some (Text a) -> Hashtbl.replace addr_map addr a
+      | _ -> ())
+    decoded;
+  let rewritten = Array.length final.words in
+  let pages_rewritten = (rewritten + page_words - 1) / page_words in
+  let pages_orig = (img.text_words + page_words - 1) / page_words in
+  let padded_words = rewritten + (pages_rewritten * (page_words / 2)) + (pages_orig * 4) in
+  { source = img;
+    image = final;
+    addr_map;
+    warmup_cycles = warmup_cycles_per_word * padded_words;
+    padded_words }
+
+let total_bytes t = 2 * t.padded_words
+
+let inflation t =
+  float_of_int (total_bytes t) /. float_of_int (Asm.Image.total_bytes t.source)

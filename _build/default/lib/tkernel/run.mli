@@ -1,0 +1,21 @@
+(** Execution harness for a t-kernel-rewritten program: one application,
+    kernel-only protection, software traps, and the on-node rewriting
+    warm-up charged at load time. *)
+
+type report = {
+  halt : Machine.Cpu.halt option;
+  cycles : int;  (** total, warm-up included *)
+  active_cycles : int;
+  warmup_cycles : int;
+  traps : int;
+  translations : int;
+  machine : Machine.Cpu.t;
+}
+
+val run : ?max_cycles:int -> Rewrite.t -> report
+
+(** Read a 16-bit data variable (placement unchanged by rewriting). *)
+val read_var : Rewrite.t -> report -> string -> int
+
+(** The benchmark programs' "bench_result" variable. *)
+val result : Rewrite.t -> report -> int

@@ -1,0 +1,1 @@
+lib/workloads/ablation.ml: Asm Avr Fmt Format Kernel List Machine Programs Rewriter

@@ -1,0 +1,1 @@
+lib/workloads/features.ml: Format List

@@ -1,0 +1,1 @@
+lib/workloads/kernel_bench.ml: Asm Avr Fmt Format Kernel List Machine Native Programs Rewriter Tkernel

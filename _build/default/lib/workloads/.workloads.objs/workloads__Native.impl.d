@@ -1,0 +1,1 @@
+lib/workloads/native.ml: Asm List Machine Printf

@@ -1,0 +1,1 @@
+lib/workloads/overhead.ml: Asm Avr Fmt Format Kernel List Machine Rewriter

@@ -1,0 +1,1 @@
+lib/workloads/periodic.ml: Asm Avr Fmt Format Kernel List Machine Matevm Native Printf Programs Tkernel

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Asm List Programs String

@@ -1,0 +1,1 @@
+lib/workloads/versatility.ml: Asm Fmt Format Kernel List Liteos Machine Printf Programs

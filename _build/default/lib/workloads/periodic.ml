@@ -1,0 +1,110 @@
+(* Figure 6: PeriodicTask execution time and CPU utilization versus
+   computation size, across native, t-kernel, SenSmart and Maté. *)
+
+type point = {
+  insns : int;  (** computation size per activation, in instructions *)
+  native_s : float;
+  native_util : float;
+  sensmart_s : float;
+  sensmart_util : float;
+  tkernel_s : float;  (** includes the on-node rewriting warm-up, as in Fig. 6(a) *)
+  mate_s : float;
+}
+
+let seconds = Avr.Cycles.to_seconds
+
+let assemble = Asm.Assembler.assemble
+
+let run_point ~period ~activations insns : point =
+  let comp_units = Programs.Periodic_task.units_for_insns insns in
+  let prog = Programs.Periodic_task.program ~period ~activations ~comp_units () in
+  let img = assemble prog in
+  (* Native. *)
+  let n = Native.run img in
+  (* SenSmart. *)
+  let k = Kernel.boot [ img ] in
+  (match Kernel.run ~max_cycles:4_000_000_000 k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Fmt.failwith "sensmart periodic: %a" Machine.Cpu.pp_stop s);
+  (* t-kernel (fresh image: rewriting happens on node at load). *)
+  let tk = Tkernel.Run.run (Tkernel.Rewrite.run img) in
+  (* Maté bytecode equivalent. *)
+  let vm =
+    Matevm.create (Matevm.periodic_capsule ~period ~activations ~comp_units)
+  in
+  ignore (Matevm.run ~max_cycles:4_000_000_000 vm);
+  { insns;
+    native_s = seconds n.cycles;
+    native_util = float_of_int n.active_cycles /. float_of_int (max 1 n.cycles);
+    sensmart_s = seconds k.m.cycles;
+    sensmart_util =
+      float_of_int (Machine.Cpu.active_cycles k.m) /. float_of_int (max 1 k.m.cycles);
+    tkernel_s = seconds tk.cycles;
+    mate_s = seconds vm.cycles }
+
+(** Sweep computation sizes (instructions per activation). *)
+let sweep ?(period = Programs.Periodic_task.default_period) ?(activations = 20)
+    (insn_points : int list) : point list =
+  List.map (run_point ~period ~activations) insn_points
+
+(** The paper's x-axis, scaled: the paper sweeps up to ~10^6 instructions
+    with 300 activations on real motes; the default here is a laptop-
+    friendly subset with the same saturation shape. *)
+let default_points =
+  [ 2_000; 10_000; 20_000; 40_000; 60_000; 90_000; 130_000; 180_000 ]
+
+(* --- concurrent periodic tasks (Table I: "Concurrent Applications") ----- *)
+
+type multi_point = {
+  tasks : int;
+  all_finished : bool;
+  total_s : float;
+  avg_current_ma : float;  (** energy view of the same run *)
+}
+
+(** Run [k] independent PeriodicTask applications concurrently under
+    SenSmart — something none of the paper's comparison systems support
+    (Table I) — and report completion and the mote's average current. *)
+let multi ?(period = Programs.Periodic_task.default_period) ?(activations = 6)
+    ?(comp_units = 800) (task_counts : int list) : multi_point list =
+  List.map
+    (fun k ->
+      let images =
+        List.init k (fun i ->
+            assemble
+              (Programs.Periodic_task.program
+                 ~name:(Printf.sprintf "p%d" i)
+                 ~period ~activations ~comp_units ()))
+      in
+      let kern = Kernel.boot images in
+      let stop = Kernel.run ~max_cycles:4_000_000_000 kern in
+      let all_finished =
+        stop = Machine.Cpu.Halted Break_hit
+        && List.for_all
+             (fun (t : Kernel.Task.t) -> t.status = Kernel.Task.Exited "exit")
+             kern.tasks
+      in
+      { tasks = k;
+        all_finished;
+        total_s = seconds kern.m.cycles;
+        avg_current_ma = Machine.Energy.avg_current_ma kern.m })
+    task_counts
+
+let print_multi fmt pts =
+  Format.fprintf fmt "%8s %10s %12s %14s@." "tasks" "finished" "total(s)"
+    "avg-mA";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%8d %10s %12.2f %14.3f@." p.tasks
+        (if p.all_finished then "yes" else "NO") p.total_s p.avg_current_ma)
+    pts
+
+let print_fig6 fmt pts =
+  Format.fprintf fmt "%10s %10s %9s %10s %9s %10s %12s@." "insns" "native(s)"
+    "util" "sensmart" "util" "t-kernel" "mate(s)";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%10d %10.2f %8.1f%% %10.2f %8.1f%% %10.2f %12.2f@."
+        p.insns p.native_s (100. *. p.native_util) p.sensmart_s
+        (100. *. p.sensmart_util) p.tkernel_s p.mate_s)
+    pts

@@ -1,0 +1,35 @@
+(* Named registry of the ready-made programs, for the CLI and examples.
+   Assembly-DSL programs are listed in [builders]; the minic-built
+   benchmark variants are exposed under a "_mc" suffix. *)
+
+let builders : (string * (unit -> Asm.Ast.program)) list =
+  [ ("am", fun () -> Programs.Am_bench.program ());
+    ("amplitude", fun () -> Programs.Amplitude_bench.program ());
+    ("crc", fun () -> Programs.Crc_bench.program ());
+    ("eventchain", fun () -> Programs.Eventchain_bench.program ());
+    ("lfsr", fun () -> Programs.Lfsr_bench.program ());
+    ("readadc", fun () -> Programs.Readadc_bench.program ());
+    ("timer", fun () -> Programs.Timer_bench.program ());
+    ("periodic", fun () -> Programs.Periodic_task.program ());
+    ("feeder", fun () -> Programs.Bintree.feeder ());
+    ("search", fun () -> Programs.Bintree.search ()) ]
+
+let minic_names =
+  List.map (fun (n, _) -> n ^ "_mc") Programs.Minic_suite.sources
+
+let names = List.map fst builders @ minic_names
+
+let find name =
+  match List.assoc_opt name builders with
+  | Some b -> Some (b ())
+  | None -> None
+
+(** Resolve any registered name to an assembled image (covers both the
+    assembly-DSL programs and the minic-compiled "_mc" variants). *)
+let find_image name =
+  match find name with
+  | Some p -> Some (Asm.Assembler.assemble p)
+  | None ->
+    if List.mem name minic_names then
+      Some (Programs.Minic_suite.compile (String.sub name 0 (String.length name - 3)))
+    else None

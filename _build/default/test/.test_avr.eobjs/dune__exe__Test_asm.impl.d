@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Avr Fmt List Machine QCheck QCheck_alcotest

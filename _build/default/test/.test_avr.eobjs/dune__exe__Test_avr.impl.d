@@ -1,0 +1,1 @@
+test/test_avr.ml: Alcotest Avr Decode Disasm Encode Fmt Isa List Printf QCheck QCheck_alcotest

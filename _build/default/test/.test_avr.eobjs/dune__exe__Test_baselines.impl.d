@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Asm Avr Fmt List Liteos Machine Matevm Printf Programs Rewriter Tkernel Workloads

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Asm Avr Fmt Kernel List Machine Printf QCheck QCheck_alcotest Tkernel Workloads

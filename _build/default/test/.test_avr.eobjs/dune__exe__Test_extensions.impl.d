@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asm Kernel List Machine Programs Workloads

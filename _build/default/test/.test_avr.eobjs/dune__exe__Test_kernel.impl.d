@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Asm Avr Kernel List Machine Printf Programs QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Avr Encode Fmt Isa List Machine QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Asm Fmt Kernel List Machine Minic Printf Programs QCheck QCheck_alcotest String Workloads

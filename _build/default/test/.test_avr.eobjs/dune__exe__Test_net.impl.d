@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Asm Kernel Minic Net Printf Programs

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Asm Fmt Kernel List Machine Programs Workloads

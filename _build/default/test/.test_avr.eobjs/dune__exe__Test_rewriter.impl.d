@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Array Asm Avr Kernel List Machine Printf QCheck QCheck_alcotest Rewriter

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Asm Avr Kernel List Liteos Machine Printf Programs Workloads

@@ -1,0 +1,172 @@
+(* Tests for the assembler: label resolution, branch relaxation, data
+   layout, and whole programs executed natively on the simulator. *)
+
+open Asm.Macros
+
+let assemble = Asm.Assembler.assemble
+
+(* Load an image natively: flash at 0, .data initialized, PC at entry. *)
+let boot (img : Asm.Image.t) =
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m img.words;
+  List.iter (fun (a, b) -> Machine.Cpu.write8 m a b) img.data_init;
+  m.pc <- img.entry;
+  m
+
+let run img =
+  let m = boot img in
+  match Machine.Cpu.run_native m with
+  | Some Machine.Cpu.Break_hit -> m
+  | other ->
+    Alcotest.failf "program did not break: %a" Fmt.(option Machine.Cpu.pp_halt) other
+
+let simple_loop () =
+  (* Sum 1..10 into r24. *)
+  let prog =
+    Asm.Ast.program "sum"
+      ([ lbl "start"; ldi 24 0; ldi 16 10; lbl "top"; add 24 16; dec 16 ]
+       @ [ brne "top"; break ])
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "sum" 55 m.regs.(24)
+
+let forward_and_backward_branches () =
+  let prog =
+    Asm.Ast.program "branches"
+      [ lbl "start"; ldi 16 1; cpi 16 1; breq "yes"; ldi 24 0; break;
+        lbl "yes"; ldi 24 0xAA; break ]
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "took branch" 0xAA m.regs.(24)
+
+let branch_relaxation () =
+  (* A conditional branch over > 63 words of padding must be relaxed and
+     still behave correctly. *)
+  let padding = List.init 100 (fun _ -> nop) in
+  let prog =
+    Asm.Ast.program "relax"
+      ([ lbl "start"; ldi 16 0; cpi 16 0; breq "far" ] @ padding
+       @ [ ldi 24 1; break; lbl "far"; ldi 24 2; break ])
+  in
+  let img = assemble prog in
+  let m = run img in
+  Alcotest.(check int) "relaxed branch taken" 2 m.regs.(24)
+
+let rjmp_relaxation () =
+  (* RJMP beyond +/-2K words becomes JMP. *)
+  let padding = List.init 2100 (fun _ -> nop) in
+  let prog =
+    Asm.Ast.program "rjmp_relax"
+      ([ lbl "start"; rjmp "far" ] @ padding @ [ lbl "far"; ldi 24 3; break ])
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "landed" 3 m.regs.(24)
+
+let data_section () =
+  let prog =
+    Asm.Ast.program "data"
+      ~data:[ { dname = "a"; size = 2; init = [ 0x34; 0x12 ] };
+              { dname = "b"; size = 4; init = [] } ]
+      [ lbl "start"; lds 24 "a"; lds_off 25 "a" 1; sts "b" 24; break ]
+  in
+  let img = assemble prog in
+  Alcotest.(check int) "data size" 6 img.data_size;
+  (match Asm.Image.find_symbol img "a" with
+   | Some (Data a) -> Alcotest.(check int) "a at heap base" Asm.Image.heap_base a
+   | _ -> Alcotest.fail "symbol a missing");
+  let m = run img in
+  Alcotest.(check int) "lo" 0x34 m.regs.(24);
+  Alcotest.(check int) "hi" 0x12 m.regs.(25);
+  Alcotest.(check int) "stored" 0x34 (Machine.Cpu.read8 m (Asm.Image.heap_base + 2))
+
+let flash_data_lpm () =
+  let prog =
+    Asm.Ast.program "flashdata"
+      ~flash_data:[ { fname = "table"; fwords = [ 0x2211; 0x4433 ] } ]
+      ([ lbl "start" ] @ ldi_flash 30 31 "table"
+       @ [ lpm 24 ~inc:true; lpm 25 ~inc:true; lpm 26 ~inc:true; break ])
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check (list int)) "bytes" [ 0x11; 0x22; 0x33 ]
+    [ m.regs.(24); m.regs.(25); m.regs.(26) ]
+
+let function_call_frame () =
+  (* A function with a 4-byte frame: store arg to a local, reload,
+     double it, return in r24. *)
+  let body =
+    [ std Avr.Isa.Ybase 1 24; ldd 16 Avr.Isa.Ybase 1; add 16 16; mov 24 16 ]
+  in
+  let prog =
+    Asm.Ast.program "frames"
+      ((lbl "start" :: sp_init) @ [ ldi 24 21; call "double"; break ]
+       @ fn "double" ~frame:4 body)
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "result" 42 m.regs.(24)
+
+let recursion () =
+  (* Recursive factorial via the stack: fact(5) = 120 (fits in 8 bits).
+     fact(n) = n=0 ? 1 : n * fact(n-1); arg/result in r24. *)
+  let prog =
+    Asm.Ast.program "fact"
+      ((lbl "start" :: sp_init)
+       @ [ ldi 24 5; call "fact"; break ]
+       @ [ lbl "fact"; cpi 24 0; brne "rec"; ldi 24 1; ret;
+           lbl "rec"; push 24; subi 24 1; call "fact";
+           pop 16; mul 24 16; mov 24 0; ret ])
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "fact 5" 120 m.regs.(24)
+
+let duplicate_label_rejected () =
+  let prog = Asm.Ast.program "dup" [ lbl "x"; lbl "x"; break ] in
+  Alcotest.check_raises "duplicate"
+    (Asm.Assembler.Error "dup: duplicate label x")
+    (fun () -> ignore (assemble prog))
+
+let undefined_label_rejected () =
+  let prog = Asm.Ast.program "undef" [ lbl "start"; rjmp "nowhere" ] in
+  (match assemble prog with
+   | exception Asm.Assembler.Error _ -> ()
+   | _ -> Alcotest.fail "expected error")
+
+let loop_macros () =
+  let prog =
+    Asm.Ast.program "loops"
+      ([ lbl "start"; ldi 24 0; ldi 25 0 ]
+       @ loop16 16 17 1000 [ inc 24; brne ".no_carry"; inc 25; lbl ".no_carry" ]
+       @ [ break ])
+  in
+  let m = run (assemble prog) in
+  Alcotest.(check int) "1000 iterations" 1000 (m.regs.(24) lor (m.regs.(25) lsl 8))
+
+(* Property: assembled text size always equals the layout total, for
+   random pad/branch structures. *)
+let prop_layout_consistent =
+  QCheck.Test.make ~name:"relaxation reaches fixpoint" ~count:100
+    QCheck.(pair (int_range 0 150) (int_range 0 150))
+    (fun (before, after) ->
+      let pad n = List.init n (fun _ -> nop) in
+      let prog =
+        Asm.Ast.program "p"
+          ([ lbl "start"; cpi 16 0; breq "target" ] @ pad before
+           @ [ lbl "target" ] @ pad after @ [ break ])
+      in
+      let img = assemble prog in
+      Array.length img.words = img.text_words && img.text_words > 0)
+
+let () =
+  Alcotest.run "asm"
+    [ ("assembler",
+       [ Alcotest.test_case "simple loop" `Quick simple_loop;
+         Alcotest.test_case "branches" `Quick forward_and_backward_branches;
+         Alcotest.test_case "branch relaxation" `Quick branch_relaxation;
+         Alcotest.test_case "rjmp relaxation" `Quick rjmp_relaxation;
+         Alcotest.test_case "data section" `Quick data_section;
+         Alcotest.test_case "flash data + lpm" `Quick flash_data_lpm;
+         Alcotest.test_case "function frame" `Quick function_call_frame;
+         Alcotest.test_case "recursion" `Quick recursion;
+         Alcotest.test_case "duplicate label" `Quick duplicate_label_rejected;
+         Alcotest.test_case "undefined label" `Quick undefined_label_rejected;
+         Alcotest.test_case "loop macros" `Quick loop_macros ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_layout_consistent ]) ]

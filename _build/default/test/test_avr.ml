@@ -1,0 +1,197 @@
+(* Unit and property tests for the AVR ISA layer: encodings checked
+   against avr-gcc-produced opcodes, and an encode/decode round trip over
+   randomly generated valid instructions. *)
+
+open Avr
+
+let isa = Alcotest.testable (fun fmt i -> Fmt.string fmt (Isa.show i)) Isa.equal
+
+(* Known opcodes, cross-checked against avr-gcc disassembly. *)
+let known_encodings () =
+  let check i ws = Alcotest.(check (list int)) (Isa.show i) ws (Encode.words i) in
+  check Nop [ 0x0000 ];
+  check (Ldi (16, 0xFF)) [ 0xEF0F ];
+  check (Ldi (24, 0x10)) [ 0xE180 ];
+  check (Push 28) [ 0x93CF ];
+  check (Pop 29) [ 0x91DF ];
+  check Ret [ 0x9508 ];
+  check (Add (0, 1)) [ 0x0C01 ];
+  check (Add (24, 25)) [ 0x0F89 ];
+  check (Adc (24, 24)) [ 0x1F88 ];
+  check (Out (0x3D, 28)) [ 0xBFCD ];
+  check (In (28, 0x3D)) [ 0xB7CD ];
+  check (Rjmp (-1)) [ 0xCFFF ];
+  check (Rjmp 10) [ 0xC00A ];
+  check (Rcall 0) [ 0xD000 ];
+  check (Brbs (1, 1)) [ 0xF009 ] (* breq .+2 *);
+  check (Brbc (1, -3)) [ 0xF7E9 ] (* brne .-6 *);
+  check (Lds (24, 0x0100)) [ 0x9180; 0x0100 ];
+  check (Sts (0x010A, 25)) [ 0x9390; 0x010A ];
+  check (Jmp 0x1234) [ 0x940C; 0x1234 ];
+  check (Call 0x0456) [ 0x940E; 0x0456 ];
+  check (Std (Ybase, 1, 24)) [ 0x8389 ];
+  check (Ldd (24, Ybase, 1)) [ 0x8189 ];
+  check (Ldd (24, Zbase, 63)) [ 0xAD87 ];
+  check (Ld (26, Z_inc)) [ 0x91A1 ];
+  check (St (X_inc, 0)) [ 0x920D ];
+  check (Adiw (28, 10)) [ 0x962A ] (* adiw r28, 0x0a *);
+  check (Sbiw (26, 1)) [ 0x9711 ];
+  check (Mul (16, 17)) [ 0x9F01 ];
+  check (Movw (28, 30)) [ 0x01EF ];
+  check (Com 15) [ 0x94F0 ];
+  check (Dec 18) [ 0x952A ];
+  check Sleep [ 0x9588 ];
+  check Break [ 0x9598 ];
+  check Ijmp [ 0x9409 ];
+  check Icall [ 0x9509 ];
+  check Reti [ 0x9518 ];
+  check (Bset 7) [ 0x9478 ] (* sei *);
+  check (Bclr 7) [ 0x94F8 ] (* cli *);
+  check (Lpm (0, false)) [ 0x9004 ];
+  check (Lpm (30, true)) [ 0x91E5 ]
+
+let decode_roundtrip_specific () =
+  let roundtrip i =
+    let ws = Encode.words i in
+    let fetch n = List.nth ws n in
+    let got, size = Decode.at fetch 0 in
+    Alcotest.check isa (Isa.show i) i got;
+    Alcotest.(check int) "size" (Isa.words i) size
+  in
+  List.iter roundtrip
+    [ Nop; Ldi (31, 0); Cpi (16, 0xAB); Sbci (17, 1); Subi (18, 0xFF);
+      Ori (19, 0x80); Andi (20, 0x7F); Neg 0; Swap 31; Inc 1; Asr 2; Lsr 3;
+      Ror 4; Eor (5, 6); Or (7, 8); And (9, 10); Mov (11, 12); Cp (13, 14);
+      Cpc (15, 16); Sub (17, 18); Sbc (19, 20); Syscall 0; Syscall 127;
+      Syscall 42; Wdr; Ld (0, X); Ld (1, X_dec); Ld (2, Y_inc); Ld (3, Y_dec);
+      Ld (4, Z_dec); St (Y_inc, 5); St (Z_dec, 6); Brbs (4, -64); Brbc (0, 63) ]
+
+(* Random valid-instruction generator for the round-trip property. *)
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let hreg = int_range 16 31 in
+  let imm8 = int_range 0 255 in
+  let preg = oneofl [ 24; 26; 28; 30 ] in
+  let ptr = oneofl Isa.[ X; X_inc; X_dec; Y_inc; Y_dec; Z_inc; Z_dec ] in
+  let base = oneofl Isa.[ Ybase; Zbase ] in
+  oneof
+    [ return Isa.Nop;
+      map2 (fun d r -> Isa.Movw (2 * d, 2 * r)) (int_range 0 15) (int_range 0 15);
+      map2 (fun d r -> Isa.Add (d, r)) reg reg;
+      map2 (fun d r -> Isa.Adc (d, r)) reg reg;
+      map2 (fun d r -> Isa.Sub (d, r)) reg reg;
+      map2 (fun d r -> Isa.Sbc (d, r)) reg reg;
+      map2 (fun d r -> Isa.And (d, r)) reg reg;
+      map2 (fun d r -> Isa.Or (d, r)) reg reg;
+      map2 (fun d r -> Isa.Eor (d, r)) reg reg;
+      map2 (fun d r -> Isa.Mov (d, r)) reg reg;
+      map2 (fun d r -> Isa.Cp (d, r)) reg reg;
+      map2 (fun d r -> Isa.Cpc (d, r)) reg reg;
+      map2 (fun d r -> Isa.Mul (d, r)) reg reg;
+      map2 (fun d k -> Isa.Cpi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Sbci (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Subi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Ori (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Andi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Ldi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Adiw (d, k)) preg (int_range 0 63);
+      map2 (fun d k -> Isa.Sbiw (d, k)) preg (int_range 0 63);
+      map (fun d -> Isa.Com d) reg;
+      map (fun d -> Isa.Neg d) reg;
+      map (fun d -> Isa.Swap d) reg;
+      map (fun d -> Isa.Inc d) reg;
+      map (fun d -> Isa.Dec d) reg;
+      map (fun d -> Isa.Asr d) reg;
+      map (fun d -> Isa.Lsr d) reg;
+      map (fun d -> Isa.Ror d) reg;
+      map2 (fun d p -> Isa.Ld (d, p)) reg ptr;
+      map2 (fun p r -> Isa.St (p, r)) ptr reg;
+      map3 (fun d b q -> Isa.Ldd (d, b, q)) reg base (int_range 0 63);
+      map3 (fun b q r -> Isa.Std (b, q, r)) base (int_range 0 63) reg;
+      map2 (fun d a -> Isa.Lds (d, a)) reg (int_range 0 0xFFFF);
+      map2 (fun a r -> Isa.Sts (a, r)) (int_range 0 0xFFFF) reg;
+      map2 (fun d i -> Isa.Lpm (d, i)) reg bool;
+      map (fun r -> Isa.Push r) reg;
+      map (fun d -> Isa.Pop d) reg;
+      map2 (fun d a -> Isa.In (d, a)) reg (int_range 0 63);
+      map2 (fun a r -> Isa.Out (a, r)) (int_range 0 63) reg;
+      map (fun k -> Isa.Rjmp k) (int_range (-2048) 2047);
+      map (fun k -> Isa.Rcall k) (int_range (-2048) 2047);
+      map (fun a -> Isa.Jmp a) (int_range 0 0xFFFF);
+      map (fun a -> Isa.Call a) (int_range 0 0xFFFF);
+      return Isa.Ijmp; return Isa.Icall; return Isa.Ret; return Isa.Reti;
+      map2 (fun s k -> Isa.Brbs (s, k)) (int_range 0 7) (int_range (-64) 63);
+      map2 (fun s k -> Isa.Brbc (s, k)) (int_range 0 7) (int_range (-64) 63);
+      map (fun s -> Isa.Bset s) (int_range 0 7);
+      map (fun s -> Isa.Bclr s) (int_range 0 7);
+      return Isa.Sleep; return Isa.Break; return Isa.Wdr;
+      map (fun k -> Isa.Syscall k) (int_range 0 127) ]
+
+let arb_insn = QCheck.make ~print:Isa.show gen_insn
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:2000 arb_insn
+    (fun i ->
+      let ws = Encode.words i in
+      let got, size = Decode.at (List.nth ws) 0 in
+      Isa.equal i got && size = List.length ws && size = Isa.words i)
+
+let prop_valid =
+  QCheck.Test.make ~name:"generator produces valid instructions" ~count:2000
+    arb_insn Isa.valid
+
+let prop_program_decode =
+  QCheck.Test.make ~name:"program encode/decode round trip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) arb_insn)
+    (fun is ->
+      let img = Encode.program is in
+      let decoded = List.map snd (Decode.program img) in
+      List.for_all2 Isa.equal is decoded)
+
+let disasm_total () =
+  (* Disassembly must render every instruction without raising. *)
+  let rec gen n acc =
+    if n = 0 then acc
+    else gen (n - 1) (QCheck.Gen.generate1 gen_insn :: acc)
+  in
+  let is = gen 500 [] in
+  List.iter (fun i -> ignore (Disasm.to_string i)) is
+
+(* Exhaustive closure over the whole 16-bit opcode space: every word
+   that decodes must re-encode to itself (32-bit instructions are padded
+   with a fixed second word for the check). *)
+let decode_encode_closure () =
+  let checked = ref 0 in
+  for w = 0 to 0xFFFF do
+    match Decode.at (fun a -> if a = 0 then w else 0x0123) 0 with
+    | exception Decode.Unknown_opcode _ -> ()
+    | i, size ->
+      incr checked;
+      (match Encode.words i with
+       | [ w' ] when size = 1 ->
+         if w' <> w then
+           Alcotest.failf "word %04x decodes to %s but re-encodes to %04x" w
+             (Isa.show i) w'
+       | [ w'; x ] when size = 2 ->
+         if w' <> w || x <> 0x0123 then
+           Alcotest.failf "32-bit word %04x re-encodes to %04x %04x" w w' x
+       | _ -> Alcotest.failf "word %04x: size mismatch" w)
+  done;
+  (* A healthy fraction of the space belongs to the subset. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d opcodes in the subset" !checked)
+    true
+    (!checked > 20_000)
+
+let () =
+  Alcotest.run "avr"
+    [ ("encodings",
+       [ Alcotest.test_case "known opcodes" `Quick known_encodings;
+         Alcotest.test_case "specific round trips" `Quick decode_roundtrip_specific;
+         Alcotest.test_case "disasm total" `Quick disasm_total;
+         Alcotest.test_case "decode/encode closure (all 64k words)" `Quick
+           decode_encode_closure ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_roundtrip; prop_valid; prop_program_decode ]) ]

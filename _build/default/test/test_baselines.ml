@@ -1,0 +1,179 @@
+(* Tests for the comparison systems: the t-kernel model (differential
+   against native), the LiteOS-like fixed-stack kernel, and the Maté
+   bytecode VM. *)
+
+let assemble = Asm.Assembler.assemble
+
+(* --- t-kernel -------------------------------------------------------- *)
+
+let tk_result img =
+  let t = Tkernel.Rewrite.run img in
+  let r = Tkernel.Run.run t in
+  (match r.halt with
+   | Some Machine.Cpu.Break_hit -> ()
+   | h -> Alcotest.failf "t-kernel run of %s: %a" img.Asm.Image.name
+            Fmt.(option Machine.Cpu.pp_halt) h);
+  (Tkernel.Run.result t r, r)
+
+let tk_differential name img expected =
+  let n = Workloads.Native.run img in
+  Alcotest.(check int) (name ^ " native = model") expected
+    (Workloads.Native.result img n);
+  let tk, _ = tk_result img in
+  Alcotest.(check int) (name ^ " t-kernel = native") expected tk
+
+let tk_lfsr () =
+  tk_differential "lfsr" (assemble (Programs.Lfsr_bench.program ()))
+    (Programs.Lfsr_bench.expected ())
+
+let tk_crc () =
+  tk_differential "crc" (assemble (Programs.Crc_bench.program ()))
+    (Programs.Crc_bench.expected ())
+
+let tk_eventchain () =
+  tk_differential "eventchain" (assemble (Programs.Eventchain_bench.program ()))
+    (Programs.Eventchain_bench.expected ())
+
+let tk_amplitude () =
+  tk_differential "amplitude" (assemble (Programs.Amplitude_bench.program ()))
+    (Programs.Amplitude_bench.expected ())
+
+let tk_timer () =
+  tk_differential "timer" (assemble (Programs.Timer_bench.program ()))
+    (Programs.Timer_bench.expected ())
+
+let tk_warmup_and_inflation () =
+  let img = assemble (Programs.Crc_bench.program ()) in
+  let t = Tkernel.Rewrite.run img in
+  Alcotest.(check bool) "warmup positive" true (t.warmup_cycles > 0);
+  Alcotest.(check bool) "inflation > 1" true (Tkernel.Rewrite.inflation t > 1.0);
+  (* The t-kernel's software traps must fire on long loops. *)
+  let r = Tkernel.Run.run t in
+  Alcotest.(check bool) "traps" true (r.traps > 0)
+
+let tk_kernel_protection () =
+  (* A store into the kernel area must fault under the t-kernel. *)
+  let open Asm.Macros in
+  let prog =
+    Asm.Ast.program "tkwild"
+      ((lbl "start" :: sp_init)
+       @ ldi16 26 27 (Rewriter.Kcells.app_limit + 4)
+       @ [ ldi 16 0xEE; st Avr.Isa.X 16; break ])
+  in
+  let t = Tkernel.Rewrite.run (assemble prog) in
+  let r = Tkernel.Run.run t in
+  match r.halt with
+  | Some (Machine.Cpu.Fault _) -> ()
+  | h -> Alcotest.failf "expected fault, got %a" Fmt.(option Machine.Cpu.pp_halt) h
+
+(* --- LiteOS ----------------------------------------------------------- *)
+
+let lite_summer n ~data_base:_ ~sp_top =
+  let open Asm.Macros in
+  Asm.Ast.program "summer"
+    ~data:[ { dname = "result"; size = 2; init = [] } ]
+    ((lbl "start" :: sp_init_at sp_top)
+     @ [ ldi 24 0; ldi 25 0; ldi 16 n;
+         lbl "top"; add 24 16; brcc "nc"; inc 25; lbl "nc"; dec 16; brne "top" ]
+     @ [ sts "result" 24; sts_off "result" 1 25; break ])
+
+let liteos_two_threads () =
+  let sys =
+    Liteos.boot
+      [ ("a", lite_summer 10); ("b", lite_summer 20) ]
+  in
+  (match Liteos.run ~max_cycles:10_000_000 sys with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Alcotest.failf "liteos stopped: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "thread a" 55 (Liteos.read_var sys 0 "result");
+  Alcotest.(check int) "thread b" 210 (Liteos.read_var sys 1 "result");
+  Alcotest.(check (list (pair string string))) "clean exits"
+    [ ("a", "exit"); ("b", "exit") ]
+    (Liteos.casualties sys)
+
+let liteos_overflow_kills () =
+  (* A deep recursion in a small fixed partition must be detected. *)
+  let deep ~data_base:_ ~sp_top =
+    let open Asm.Macros in
+    Asm.Ast.program "deep"
+      ((lbl "start" :: sp_init_at sp_top)
+       @ [ ldi 24 30; call "eat"; break;
+           lbl "eat"; cpi 24 0; brne "go"; ret; lbl "go" ]
+       @ List.init 13 (fun _ -> push 24)
+       @ [ subi 24 1; call "eat" ]
+       @ List.init 13 (fun _ -> pop 16)
+       @ [ ret ])
+  in
+  let sys =
+    Liteos.boot
+      ~config:{ Liteos.default_config with thread_stack = 64; slice_cycles = 300 }
+      [ ("victim", lite_summer 200); ("deep", deep) ]
+  in
+  ignore (Liteos.run ~max_cycles:5_000_000 sys);
+  Alcotest.(check bool) "overflow detected" true
+    (List.exists
+       (fun (n, r) -> n = "deep" && r = "stack overflow (fixed partition)")
+       (Liteos.casualties sys))
+
+let liteos_admission () =
+  let many = List.init 40 (fun i -> (Printf.sprintf "t%d" i, lite_summer 5)) in
+  match Liteos.boot ~config:{ Liteos.default_config with thread_stack = 220 } many with
+  | exception Liteos.Admission_failure _ -> ()
+  | _ -> Alcotest.fail "expected admission failure for 40 fat threads"
+
+(* --- Maté VM ----------------------------------------------------------- *)
+
+let mate_periodic () =
+  let activations = 3 in
+  let vm =
+    Matevm.create
+      (Matevm.periodic_capsule ~period:8192 ~activations ~comp_units:50)
+  in
+  let halted = Matevm.run ~max_cycles:500_000_000 vm in
+  Alcotest.(check bool) "halts" true halted;
+  Alcotest.(check int) "activations" activations vm.heap.(1);
+  Alcotest.(check bool) "interpretation cost dominates" true
+    (vm.cycles > vm.executed * Matevm.dispatch_cycles)
+
+let mate_much_slower_than_native () =
+  let comp_units = 400 in
+  let activations = 2 in
+  let img =
+    assemble (Programs.Periodic_task.program ~activations ~comp_units ())
+  in
+  let native = (Workloads.Native.run img).active_cycles in
+  let vm =
+    Matevm.create
+      (Matevm.periodic_capsule ~period:Programs.Periodic_task.default_period
+         ~activations ~comp_units)
+  in
+  ignore (Matevm.run vm);
+  let mate_active = vm.cycles - vm.idle_cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "mate %d >> native %d active cycles" mate_active native)
+    true
+    (mate_active > 10 * native)
+
+let mate_stack_safety () =
+  let vm = Matevm.create [| Matevm.Add |] in
+  Alcotest.check_raises "underflow" Matevm.Stack_underflow (fun () ->
+      Matevm.step vm)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("t-kernel",
+       [ Alcotest.test_case "lfsr differential" `Quick tk_lfsr;
+         Alcotest.test_case "crc differential" `Quick tk_crc;
+         Alcotest.test_case "eventchain differential" `Quick tk_eventchain;
+         Alcotest.test_case "amplitude differential" `Quick tk_amplitude;
+         Alcotest.test_case "timer differential" `Quick tk_timer;
+         Alcotest.test_case "warmup and inflation" `Quick tk_warmup_and_inflation;
+         Alcotest.test_case "kernel protection" `Quick tk_kernel_protection ]);
+      ("liteos",
+       [ Alcotest.test_case "two threads" `Quick liteos_two_threads;
+         Alcotest.test_case "overflow kills" `Quick liteos_overflow_kills;
+         Alcotest.test_case "admission" `Quick liteos_admission ]);
+      ("mate",
+       [ Alcotest.test_case "periodic capsule" `Quick mate_periodic;
+         Alcotest.test_case "interpretation penalty" `Quick mate_much_slower_than_native;
+         Alcotest.test_case "stack safety" `Quick mate_stack_safety ]) ]

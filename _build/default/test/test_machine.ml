@@ -1,0 +1,308 @@
+(* Tests for the MCU simulator: ALU flag semantics, stack/call behaviour,
+   cycle accounting, peripherals, and sleep fast-forwarding. *)
+
+open Avr
+
+(* Build a machine preloaded with an instruction sequence. *)
+let boot is =
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m (Encode.program is);
+  m
+
+let run_insns m n = for _ = 1 to n do Machine.Cpu.step m done
+
+let flags m =
+  let f b = Machine.Cpu.flag m b in
+  (f 0 (* C *), f 1 (* Z *), f 2 (* N *), f 3 (* V *), f 4 (* S *), f 5 (* H *))
+
+let add_flags () =
+  let m = boot [ Ldi (16, 0x80); Ldi (17, 0x80); Add (16, 17) ] in
+  run_insns m 3;
+  Alcotest.(check int) "result" 0x00 m.regs.(16);
+  let c, z, n, v, s, _h = flags m in
+  Alcotest.(check (list int)) "CZNVS" [ 1; 1; 0; 1; 1 ] [ c; z; n; v; s ]
+
+let add_half_carry () =
+  let m = boot [ Ldi (16, 0x0F); Ldi (17, 0x01); Add (16, 17) ] in
+  run_insns m 3;
+  Alcotest.(check int) "result" 0x10 m.regs.(16);
+  let _, _, _, _, _, h = flags m in
+  Alcotest.(check int) "H" 1 h
+
+let sub_borrow_chain () =
+  (* 16-bit subtraction 0x0100 - 0x0001 = 0x00FF through SUB/SBC. *)
+  let m =
+    boot [ Ldi (24, 0x00); Ldi (25, 0x01); Ldi (16, 0x01); Ldi (17, 0x00);
+           Sub (24, 16); Sbc (25, 17) ]
+  in
+  run_insns m 6;
+  Alcotest.(check int) "lo" 0xFF m.regs.(24);
+  Alcotest.(check int) "hi" 0x00 m.regs.(25);
+  let c, z, _, _, _, _ = flags m in
+  Alcotest.(check int) "C clear" 0 c;
+  (* SBC keeps Z clear because the low byte was non-zero. *)
+  Alcotest.(check int) "Z clear" 0 z
+
+let sbc_z_propagation () =
+  (* 0x0100 - 0x0100 = 0: SBC must leave Z set from the SUB. *)
+  let m =
+    boot [ Ldi (24, 0x00); Ldi (25, 0x01); Ldi (16, 0x00); Ldi (17, 0x01);
+           Sub (24, 16); Sbc (25, 17) ]
+  in
+  run_insns m 6;
+  let _, z, _, _, _, _ = flags m in
+  Alcotest.(check int) "Z set" 1 z
+
+let signed_compare () =
+  (* -1 (0xFF) < 1 signed: S must be set after CP. *)
+  let m = boot [ Ldi (16, 0xFF); Ldi (17, 0x01); Cp (16, 17) ] in
+  run_insns m 3;
+  let _, _, _, _, s, _ = flags m in
+  Alcotest.(check int) "S set (less)" 1 s
+
+let mul_works () =
+  let m = boot [ Ldi (16, 200); Ldi (17, 100); Mul (16, 17) ] in
+  run_insns m 3;
+  Alcotest.(check int) "r1:r0" 20000 (m.regs.(0) lor (m.regs.(1) lsl 8))
+
+let adiw_sbiw () =
+  let m = boot [ Ldi (26, 0xFF); Ldi (27, 0x00); Adiw (26, 1); Sbiw (26, 2) ] in
+  run_insns m 4;
+  Alcotest.(check int) "X" 0x00FE (Machine.Cpu.xreg m)
+
+let push_pop_stack () =
+  let m = boot [ Ldi (16, 0xAB); Push 16; Ldi (16, 0); Pop 17 ] in
+  let sp0 = m.sp in
+  run_insns m 2;
+  Alcotest.(check int) "sp after push" (sp0 - 1) m.sp;
+  run_insns m 2;
+  Alcotest.(check int) "sp restored" sp0 m.sp;
+  Alcotest.(check int) "value" 0xAB m.regs.(17)
+
+let call_ret () =
+  (* call f; break; f: ldi r16, 7; ret *)
+  let is = [ Isa.Call 3; Break; Nop; Ldi (16, 7); Ret ] in
+  let m = boot is in
+  (match Machine.Cpu.run_native m with
+   | Some Break_hit -> ()
+   | other -> Alcotest.failf "unexpected stop: %a" Fmt.(option Machine.Cpu.pp_halt) other);
+  Alcotest.(check int) "r16" 7 m.regs.(16);
+  Alcotest.(check int) "sp balanced" Machine.Layout.initial_sp m.sp
+
+let rcall_ret () =
+  let is = [ Isa.Rcall 1; Break; Ldi (16, 9); Ret ] in
+  let m = boot is in
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "r16" 9 m.regs.(16)
+
+let ijmp_icall () =
+  (* Load Z with the word address of f, icall it. *)
+  let is = [ Isa.Ldi (30, 4); Ldi (31, 0); Icall; Break; Ldi (16, 5); Ret ] in
+  let m = boot is in
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "r16" 5 m.regs.(16)
+
+let cycle_costs () =
+  (* Layout: ldi@0 add@1 ld@2 call@3-4 break@5 ret@6. *)
+  let m = boot [ Ldi (16, 1); Add (16, 16); Ld (17, X); Isa.Call 6; Break; Ret ] in
+  run_insns m 1;
+  Alcotest.(check int) "ldi 1 cycle" 1 m.cycles;
+  run_insns m 1;
+  Alcotest.(check int) "add 1 cycle" 2 m.cycles;
+  run_insns m 1;
+  Alcotest.(check int) "ld 2 cycles" 4 m.cycles;
+  run_insns m 1;
+  Alcotest.(check int) "call 4 cycles" 8 m.cycles;
+  run_insns m 1;
+  Alcotest.(check int) "ret 4 cycles" 12 m.cycles
+
+let branch_cycles () =
+  let m = boot [ Ldi (16, 0); Cpi (16, 0); Brbs (1, 1); Nop; Break ] in
+  run_insns m 3;
+  (* ldi(1) + cpi(1) + taken branch(2). *)
+  Alcotest.(check int) "taken branch costs 2" 4 m.cycles
+
+let data_memory () =
+  let m = boot [ Isa.Ldi (16, 0x5A); Sts (0x0200, 16); Lds (17, 0x0200) ] in
+  run_insns m 3;
+  Alcotest.(check int) "r17" 0x5A m.regs.(17);
+  Alcotest.(check int) "mem" 0x5A (Machine.Cpu.read8 m 0x0200)
+
+let sp_via_io () =
+  let m = boot [ Isa.Ldi (16, 0x34); Out (Machine.Io.spl, 16);
+                 Ldi (16, 0x02); Out (Machine.Io.sph, 16);
+                 In (17, Machine.Io.spl); In (18, Machine.Io.sph) ] in
+  run_insns m 6;
+  Alcotest.(check int) "sp" 0x0234 m.sp;
+  Alcotest.(check int) "spl read" 0x34 m.regs.(17);
+  Alcotest.(check int) "sph read" 0x02 m.regs.(18)
+
+let timer3_advances () =
+  let m = boot [ Isa.In (16, Machine.Io.tcnt3l) ] in
+  m.cycles <- 800;
+  run_insns m 1;
+  Alcotest.(check int) "tcnt3l = cycles/8" ((801 / 8) land 0xFF) m.regs.(16)
+
+let adc_conversion () =
+  let m = Machine.Cpu.create () in
+  let io = m.io in
+  Machine.Io.write io ~cycles:0 Machine.Io.adcsra (Machine.Io.aden_bit lor Machine.Io.adsc_bit);
+  let busy = Machine.Io.read io ~cycles:10 Machine.Io.adcsra in
+  Alcotest.(check bool) "converting" true (busy land Machine.Io.adsc_bit <> 0);
+  let done_ = Machine.Io.read io ~cycles:(Machine.Io.adc_conversion_cycles + 1) Machine.Io.adcsra in
+  Alcotest.(check bool) "done" true (done_ land Machine.Io.adsc_bit = 0);
+  let v = Machine.Io.read io ~cycles:2000 Machine.Io.adcl
+          lor (Machine.Io.read io ~cycles:2000 Machine.Io.adch lsl 8) in
+  Alcotest.(check bool) "10-bit sample" true (v >= 0 && v < 1024)
+
+let radio_tx () =
+  let io = Machine.Io.create () in
+  Machine.Io.write io ~cycles:0 Machine.Io.radio_data 0x42;
+  Alcotest.(check int) "one byte sent" 1 io.radio_tx_count;
+  (* Busy until the byte time elapses; a second write during busy is dropped. *)
+  Machine.Io.write io ~cycles:10 Machine.Io.radio_data 0x43;
+  Alcotest.(check int) "still one byte" 1 io.radio_tx_count;
+  let st = Machine.Io.read io ~cycles:(Machine.Io.radio_byte_cycles + 1) Machine.Io.radio_status in
+  Alcotest.(check bool) "tx ready again" true (st land Machine.Io.tx_ready_bit <> 0)
+
+let radio_rx () =
+  let io = Machine.Io.create () in
+  Machine.Io.inject_rx io ~cycles:0 ~after:100 0x99;
+  let st0 = Machine.Io.read io ~cycles:50 Machine.Io.radio_status in
+  Alcotest.(check int) "not yet" 0 (st0 land Machine.Io.rx_avail_bit);
+  let st1 = Machine.Io.read io ~cycles:150 Machine.Io.radio_status in
+  Alcotest.(check bool) "avail" true (st1 land Machine.Io.rx_avail_bit <> 0);
+  Alcotest.(check int) "byte" 0x99 (Machine.Io.read io ~cycles:150 Machine.Io.radio_data)
+
+let sleep_fast_forward () =
+  (* SLEEP should skip ahead to the next timer0 overflow and count the
+     gap as idle. *)
+  let m = boot [ Isa.Sleep; Break ] in
+  (match Machine.Cpu.run_native m with
+   | Some Break_hit -> ()
+   | _ -> Alcotest.fail "expected break");
+  Alcotest.(check bool) "idle accounted" true (m.idle_cycles > 0);
+  Alcotest.(check bool) "woke at overflow" true
+    (m.cycles >= Machine.Io.timer0_overflow_period)
+
+let invalid_opcode_halts () =
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m [| 0xFF00 |] (* reserved, not our syscall pattern *);
+  (match Machine.Cpu.run ~max_cycles:100 m with
+   | Halted (Invalid_opcode _) -> ()
+   | s -> Alcotest.failf "unexpected: %a" Machine.Cpu.pp_stop s)
+
+let syscall_dispatch () =
+  let m = boot [ Isa.Syscall 42; Break ] in
+  let seen = ref (-1) in
+  m.on_syscall <- Some (fun _ k -> seen := k);
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "syscall arg" 42 !seen
+
+let lpm_reads_flash () =
+  let m = Machine.Cpu.create () in
+  (* Word 5 = 0xBEEF; LPM with byte address 10 (low) then 11 (high). *)
+  let code = Encode.program
+      [ Ldi (30, 10); Ldi (31, 0); Lpm (16, true); Lpm (17, false); Break ] in
+  Machine.Cpu.load m code;
+  m.flash.(5) <- 0xBEEF;
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "low byte" 0xEF m.regs.(16);
+  Alcotest.(check int) "high byte" 0xBE m.regs.(17)
+
+let preemption_horizon () =
+  (* An infinite loop must stop at the preempt horizon. *)
+  let m = boot [ Isa.Rjmp (-1) ] in
+  m.preempt_at <- 1000;
+  (match Machine.Cpu.run m with
+   | Preempted -> ()
+   | s -> Alcotest.failf "unexpected: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check bool) "cycles past horizon" true (m.cycles >= 1000)
+
+(* Independent oracle for the arithmetic flag semantics: random operand
+   pairs for ADC/SBC checked against a bit-level OCaml model transcribed
+   from the datasheet equations. *)
+let model_add a b cin =
+  let sum = a + b + cin in
+  let res = sum land 0xFF in
+  let h = (a land 0xF) + (b land 0xF) + cin > 0xF in
+  let c = sum > 0xFF in
+  let v = (a lxor res) land (b lxor res) land 0x80 <> 0 in
+  let n = res land 0x80 <> 0 in
+  (res, h, c, v, n, res = 0)
+
+let model_sub a b cin =
+  let diff = a - b - cin in
+  let res = diff land 0xFF in
+  let h = (a land 0xF) - (b land 0xF) - cin < 0 in
+  let c = diff < 0 in
+  let v = (a lxor b) land (a lxor res) land 0x80 <> 0 in
+  let n = res land 0x80 <> 0 in
+  (res, h, c, v, n, res = 0)
+
+let prop_alu_flags =
+  QCheck.Test.make ~name:"ALU flags match the datasheet model" ~count:3000
+    QCheck.(quad (int_range 0 255) (int_range 0 255) bool bool)
+    (fun (a, b, carry_in, is_sub) ->
+      let m = boot [ (if is_sub then Isa.Sbc (16, 17) else Isa.Adc (16, 17)) ] in
+      m.regs.(16) <- a;
+      m.regs.(17) <- b;
+      Machine.Cpu.set_flag m 0 carry_in;
+      (* SBC's Z only stays set if the prior Z was set; seed it set. *)
+      Machine.Cpu.set_flag m 1 true;
+      Machine.Cpu.step m;
+      let cin = if carry_in then 1 else 0 in
+      let res, h, c, v, n, z =
+        if is_sub then model_sub a b cin else model_add a b cin
+      in
+      m.regs.(16) = res
+      && (Machine.Cpu.flag m 5 = 1) = h
+      && (Machine.Cpu.flag m 0 = 1) = c
+      && (Machine.Cpu.flag m 3 = 1) = v
+      && (Machine.Cpu.flag m 2 = 1) = n
+      && (Machine.Cpu.flag m 1 = 1) = z)
+
+let prop_inc_dec_roundtrip =
+  QCheck.Test.make ~name:"inc then dec is identity (no C clobber)" ~count:500
+    QCheck.(pair (int_range 0 255) bool)
+    (fun (a, carry) ->
+      let m = boot [ Isa.Inc 16; Dec 16 ] in
+      m.regs.(16) <- a;
+      Machine.Cpu.set_flag m 0 carry;
+      run_insns m 2;
+      m.regs.(16) = a && (Machine.Cpu.flag m 0 = 1) = carry)
+
+let () =
+  Alcotest.run "machine"
+    [ ("alu",
+       [ Alcotest.test_case "add flags" `Quick add_flags;
+         Alcotest.test_case "half carry" `Quick add_half_carry;
+         Alcotest.test_case "16-bit sub borrow" `Quick sub_borrow_chain;
+         Alcotest.test_case "sbc Z propagation" `Quick sbc_z_propagation;
+         Alcotest.test_case "signed compare" `Quick signed_compare;
+         Alcotest.test_case "mul" `Quick mul_works;
+         Alcotest.test_case "adiw/sbiw" `Quick adiw_sbiw ]);
+      ("control",
+       [ Alcotest.test_case "push/pop" `Quick push_pop_stack;
+         Alcotest.test_case "call/ret" `Quick call_ret;
+         Alcotest.test_case "rcall/ret" `Quick rcall_ret;
+         Alcotest.test_case "ijmp/icall" `Quick ijmp_icall;
+         Alcotest.test_case "preemption horizon" `Quick preemption_horizon;
+         Alcotest.test_case "invalid opcode" `Quick invalid_opcode_halts;
+         Alcotest.test_case "syscall hook" `Quick syscall_dispatch ]);
+      ("timing",
+       [ Alcotest.test_case "cycle costs" `Quick cycle_costs;
+         Alcotest.test_case "branch cycles" `Quick branch_cycles;
+         Alcotest.test_case "sleep fast-forward" `Quick sleep_fast_forward ]);
+      ("memory",
+       [ Alcotest.test_case "data rw" `Quick data_memory;
+         Alcotest.test_case "sp via io" `Quick sp_via_io;
+         Alcotest.test_case "lpm" `Quick lpm_reads_flash ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_alu_flags; prop_inc_dec_roundtrip ]);
+      ("peripherals",
+       [ Alcotest.test_case "timer3" `Quick timer3_advances;
+         Alcotest.test_case "adc" `Quick adc_conversion;
+         Alcotest.test_case "radio tx" `Quick radio_tx;
+         Alcotest.test_case "radio rx" `Quick radio_rx ]) ]

@@ -1,0 +1,511 @@
+(* Tests for the minic compiler: language features end to end (compile,
+   run natively, run under SenSmart — all three must agree), plus a
+   random expression fuzzer against an OCaml 16-bit oracle. *)
+
+let compile ~name src = Minic.Codegen.compile_source ~name src
+
+(* Run a compiled image natively and read global [v]. *)
+let run_native ?(var = "r") img =
+  let r = Workloads.Native.run ~max_cycles:100_000_000 img in
+  (match r.halt with
+   | Some Machine.Cpu.Break_hit -> ()
+   | h -> Alcotest.failf "native: %a" Fmt.(option Machine.Cpu.pp_halt) h);
+  Workloads.Native.read_var img r var
+
+let run_sensmart ?(var = "r") img =
+  let k = Kernel.boot [ img ] in
+  (match Kernel.run ~max_cycles:200_000_000 k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Alcotest.failf "sensmart: %a" Machine.Cpu.pp_stop s);
+  (match Kernel.outcomes k with
+   | [ (_, "exit") ] -> ()
+   | o -> Alcotest.failf "outcomes: %s" (String.concat "," (List.map snd o)));
+  Kernel.read_var k 0 var
+
+let check_program ?(var = "r") name src expected =
+  let img = compile ~name src in
+  Alcotest.(check int) (name ^ " native") expected (run_native ~var img);
+  Alcotest.(check int) (name ^ " sensmart") expected (run_sensmart ~var img)
+
+let arithmetic () =
+  check_program "arith" {|
+    var r;
+    fun main() {
+      r = (2 + 3) * 7 - 1;
+      halt;
+    }
+  |} 34
+
+let wrapping () =
+  check_program "wrap" {|
+    var r;
+    fun main() {
+      r = 65535 + 3;   // wraps mod 2^16
+      halt;
+    }
+  |} 2
+
+let bitops_and_shifts () =
+  check_program "bits" {|
+    var r;
+    fun main() {
+      r = ((0xF0F0 & 0x0FF0) | 0x8001) ^ (1 << 4);
+      halt;
+    }
+  |} ((0xF0F0 land 0x0FF0) lor 0x8001 lxor 16)
+
+let comparisons () =
+  check_program "cmp" {|
+    var r;
+    fun main() {
+      r = (3 < 5) + (5 <= 5) + (7 > 2) + (2 >= 3) + (4 == 4) + (4 != 4);
+      halt;
+    }
+  |} 4
+
+let unsigned_compare () =
+  (* 0x8000 > 1 as unsigned (would be negative in signed terms). *)
+  check_program "ucmp" {|
+    var r;
+    fun main() { r = 0x8000 > 1; halt; }
+  |} 1
+
+let while_loop () =
+  check_program "loop" {|
+    var r;
+    fun main() {
+      var i = 1;
+      r = 0;
+      while (i <= 100) { r = r + i; i = i + 1; }
+      halt;
+    }
+  |} 5050
+
+let if_else () =
+  check_program "ifelse" {|
+    var r;
+    fun classify(x) {
+      if (x < 10) { return 1; }
+      else { if (x < 100) { return 2; } else { return 3; } }
+    }
+    fun main() {
+      r = classify(5) * 100 + classify(50) * 10 + classify(5000);
+      halt;
+    }
+  |} 123
+
+let functions_and_recursion () =
+  check_program "fact" {|
+    var r;
+    fun fact(n) {
+      if (n == 0) { return 1; }
+      return n * fact(n - 1);
+    }
+    fun main() { r = fact(7); halt; }
+  |} 5040
+
+let multiple_args () =
+  check_program "args" {|
+    var r;
+    fun f(a, b, c) { return a * 100 + b * 10 + c; }
+    fun main() { r = f(1, 2, 3); halt; }
+  |} 123
+
+let locals_are_independent () =
+  check_program "locals" {|
+    var r;
+    fun g(x) { var t = x * 2; return t; }
+    fun main() {
+      var t = 5;
+      r = g(t) + t;   // g's t must not clobber main's
+      halt;
+    }
+  |} 15
+
+let arrays () =
+  check_program "arrays" {|
+    var buf[16];
+    var r;
+    fun main() {
+      var i = 0;
+      while (i < 16) { buf[i] = i * 3; i = i + 1; }
+      r = 0;
+      i = 0;
+      while (i < 16) { r = r + buf[i]; i = i + 1; }
+      halt;
+    }
+  |} (3 * (15 * 16 / 2))
+
+let crc_in_minic () =
+  (* The CRC benchmark rewritten in minic must agree with the OCaml
+     model used by the assembly version. *)
+  check_program "crc" {|
+    var buf[64];
+    var r;
+    fun step(x) {
+      if (x & 1) { return (x >> 1) ^ 0xB400; }
+      return x >> 1;
+    }
+    fun main() {
+      var st = 0x1234;
+      var i = 0;
+      while (i < 64) { st = step(st); buf[i] = st & 0xFF; i = i + 1; }
+      var crc = 0xFFFF;
+      i = 0;
+      while (i < 64) {
+        crc = crc ^ (buf[i] << 8);
+        var b = 0;
+        while (b < 8) {
+          if (crc & 0x8000) { crc = (crc << 1) ^ 0x1021; }
+          else { crc = crc << 1; }
+          b = b + 1;
+        }
+        i = i + 1;
+      }
+      r = crc;
+      halt;
+    }
+  |} (Programs.Crc_bench.expected ())
+
+let builtins_io () =
+  (* timer3 read and io round trips under both executions. *)
+  check_program "io" {|
+    var r;
+    fun main() {
+      var t0 = timer3();
+      var i = 0;
+      while (i < 100) { i = i + 1; }
+      var t1 = timer3();
+      r = t1 >= t0;
+      halt;
+    }
+  |} 1
+
+let radio_builtin () =
+  let img = compile ~name:"radio" {|
+    var r;
+    fun main() {
+      radio_send(0x42);
+      radio_send(0x43);
+      r = 2;
+      halt;
+    }
+  |} in
+  let rep = Workloads.Native.run img in
+  Alcotest.(check int) "bytes sent" 2 rep.machine.io.radio_tx_count
+
+let parse_errors () =
+  let bad = [ "fun main() { x = ; }"; "var;"; "fun f( { }"; "fun main() { if x { } }" ] in
+  List.iter
+    (fun src ->
+      match compile ~name:"bad" src with
+      | exception (Minic.Parser.Error _ | Minic.Lexer.Error _ | Minic.Codegen.Error _) -> ()
+      | _ -> Alcotest.failf "accepted: %s" src)
+    bad
+
+let codegen_errors () =
+  let bad =
+    [ "fun main() { r = 1; halt; }" (* unknown global *);
+      "var a[4]; fun main() { a = 3; halt; }" (* array as scalar *);
+      "var r; fun main() { r = f(1); halt; }" (* unknown function *);
+      "var r; fun f(a) { return a; } fun main() { r = f(); halt; }" ]
+  in
+  List.iter
+    (fun src ->
+      match compile ~name:"bad" src with
+      | exception Minic.Codegen.Error _ -> ()
+      | _ -> Alcotest.failf "accepted: %s" src)
+    bad
+
+(* --- fuzz: random expressions vs an OCaml oracle ------------------------- *)
+
+let rec oracle (e : Minic.Ast.expr) : int =
+  let m v = v land 0xFFFF in
+  match e with
+  | Num v -> m v
+  | Unop (`Neg, a) -> m (-oracle a)
+  | Unop (`Not, a) -> m (lnot (oracle a))
+  | Binop (op, a, b) ->
+    let x = oracle a and y = oracle b in
+    (match op with
+     | Add -> m (x + y)
+     | Sub -> m (x - y)
+     | Mul -> m (x * y)
+     | BAnd -> x land y
+     | BOr -> x lor y
+     | BXor -> x lxor y
+     | Shl -> if y land 0xFF >= 16 then 0 else m (x lsl (y land 0xFF))
+     | Shr -> if y land 0xFF >= 16 then 0 else x lsr (y land 0xFF)
+     | Eq -> if x = y then 1 else 0
+     | Ne -> if x <> y then 1 else 0
+     | Lt -> if x < y then 1 else 0
+     | Le -> if x <= y then 1 else 0
+     | Gt -> if x > y then 1 else 0
+     | Ge -> if x >= y then 1 else 0)
+  | Var _ | Index _ | Call _ | Builtin _ -> assert false
+
+let gen_expr =
+  let open QCheck.Gen in
+  let num = map (fun v -> Minic.Ast.Num v) (int_range 0 0xFFFF) in
+  (* Shift counts are drawn small so the oracle's masking matches. *)
+  let shift_count = map (fun v -> Minic.Ast.Num v) (int_range 0 18) in
+  fix
+    (fun self depth ->
+      if depth = 0 then num
+      else
+        frequency
+          [ (2, num);
+            (1, map (fun a -> Minic.Ast.Unop (`Neg, a)) (self (depth - 1)));
+            (1, map (fun a -> Minic.Ast.Unop (`Not, a)) (self (depth - 1)));
+            (6,
+             map3
+               (fun op a b -> Minic.Ast.Binop (op, a, b))
+               (oneofl
+                  [ Minic.Ast.Add; Sub; Mul; BAnd; BOr; BXor; Eq; Ne; Lt; Le;
+                    Gt; Ge ])
+               (self (depth - 1))
+               (self (depth - 1)));
+            (2,
+             map2
+               (fun op a -> fun c -> Minic.Ast.Binop (op, a, c))
+               (oneofl [ Minic.Ast.Shl; Shr ])
+               (self (depth - 1))
+             <*> shift_count) ])
+    4
+
+let prop_expr_fuzz =
+  QCheck.Test.make ~name:"random expressions: compiled == oracle" ~count:150
+    (QCheck.make gen_expr)
+    (fun e ->
+      let prog =
+        { Minic.Ast.name = "fuzz";
+          globals = [ Scalar "r" ];
+          funcs =
+            [ { fname = "main"; params = []; locals = [];
+                body = [ Assign ("r", e); Halt ] } ] }
+      in
+      let img = Asm.Assembler.assemble (Minic.Codegen.compile prog) in
+      run_native img = oracle e && run_sensmart img = oracle e)
+
+
+(* --- statement-level fuzz vs the reference interpreter ------------------- *)
+
+(* Random, guaranteed-terminating programs over globals g0/g1, a 16-byte
+   array, one helper function, locals, bounded loops and conditionals.
+   The compiled code (run natively AND under SenSmart) must leave exactly
+   the observable state the reference interpreter computes. *)
+
+let gen_stmt_prog =
+  let open QCheck.Gen in
+  let var_names = [ "g0"; "g1"; "x"; "y" ] in
+  let rec gen_e depth st =
+    if depth = 0 then
+      oneof
+        [ map (fun v -> Minic.Ast.Num v) (int_range 0 0xFFFF);
+          map (fun n -> Minic.Ast.Var n) (oneofl var_names);
+          map
+            (fun i -> Minic.Ast.Index ("a", Binop (BAnd, i, Num 15)))
+            (map (fun v -> Minic.Ast.Num v) (int_range 0 255)) ]
+        st
+    else
+      frequency
+        [ (2, gen_e 0);
+          (4,
+           map3
+             (fun op a b -> Minic.Ast.Binop (op, a, b))
+             (oneofl
+                [ Minic.Ast.Add; Sub; Mul; BAnd; BOr; BXor; Eq; Ne; Lt; Gt ])
+             (gen_e (depth - 1))
+             (gen_e (depth - 1)));
+          (1, map (fun a -> Minic.Ast.Unop (`Not, a)) (gen_e (depth - 1)));
+          (1,
+           map2
+             (fun a k -> Minic.Ast.Binop (Shr, a, Num k))
+             (gen_e (depth - 1))
+             (int_range 0 12)) ]
+        st
+  in
+  let gen_expr = gen_e 3 in
+  let counter = ref 0 in
+  let rec gen_s ~allow_call depth st =
+    let assign =
+      map2
+        (fun n e -> [ Minic.Ast.Assign (n, e) ])
+        (oneofl [ "g0"; "g1" ])
+        gen_expr
+    in
+    let store =
+      map2
+        (fun i e -> [ Minic.Ast.Store ("a", Binop (BAnd, i, Num 15), e) ])
+        gen_expr gen_expr
+    in
+    let callh =
+      map2
+        (fun a b -> [ Minic.Ast.Assign ("g0", Call ("h", [ a; b ])) ])
+        gen_expr gen_expr
+    in
+    if depth = 0 then
+      oneof (if allow_call then [ assign; store; callh ] else [ assign; store ]) st
+    else
+      frequency
+        ([ (3, assign);
+           (2, store) ]
+         @ (if allow_call then [ (1, callh) ] else [])
+         @ [
+          (2,
+           map3
+             (fun c t f -> [ Minic.Ast.If (c, t, f) ])
+             gen_expr (gen_block ~allow_call (depth - 1))
+             (gen_block ~allow_call (depth - 1)));
+          (2,
+           map2
+             (fun n body ->
+               incr counter;
+               let i = Printf.sprintf "i%d" !counter in
+               (* for i in 0..n: body (body never writes i) *)
+               [ Minic.Ast.Assign (i, Num 0);
+                 While
+                   ( Binop (Lt, Var i, Num n),
+                     body @ [ Minic.Ast.Assign (i, Binop (Add, Var i, Num 1)) ] ) ])
+             (int_range 1 6)
+             (gen_block ~allow_call (depth - 1))) ])
+        st
+  and gen_block ~allow_call depth st =
+    (map (fun ss -> List.concat ss)
+       (list_size (int_range 1 3) (gen_s ~allow_call depth)))
+      st
+  in
+  QCheck.Gen.map
+    (fun (main_body, helper_body, hret) ->
+      (* Collect the loop locals main uses. *)
+      let rec locals_of acc = function
+        | Minic.Ast.Assign (n, _) when n.[0] = 'i' && not (List.mem n acc) ->
+          n :: acc
+        | If (_, t, f) -> List.fold_left locals_of (List.fold_left locals_of acc t) f
+        | While (_, b) -> List.fold_left locals_of acc b
+        | _ -> acc
+      in
+      let main_locals = List.fold_left locals_of [] main_body in
+      let helper_locals =
+        List.filter (fun l -> l <> "x" && l <> "y")
+          (List.fold_left locals_of [] helper_body)
+      in
+      { Minic.Ast.name = "sfuzz";
+        globals = [ Scalar "g0"; Scalar "g1"; Scalar "x"; Scalar "y"; Array ("a", 16) ];
+        funcs =
+          [ { fname = "h"; params = [ "x"; "y" ]; locals = helper_locals;
+              body = helper_body @ [ Return (Some hret) ] };
+            { fname = "main"; params = []; locals = main_locals;
+              body = main_body @ [ Halt ] } ] })
+    QCheck.Gen.(
+      triple (gen_block ~allow_call:true 2) (gen_block ~allow_call:false 1)
+        gen_expr)
+
+let observe_interp (prog : Minic.Ast.program) =
+  let st = Minic.Interp.run prog in
+  ( Minic.Interp.global st "g0",
+    Minic.Interp.global st "g1",
+    Array.to_list (Minic.Interp.array st "a") )
+
+let observe_machine run_var (prog : Minic.Ast.program) =
+  let img = Asm.Assembler.assemble (Minic.Codegen.compile prog) in
+  let read_array m base =
+    List.init 16 (fun i -> Machine.Cpu.read8 m (base + i))
+  in
+  match run_var with
+  | `Native ->
+    let r = Workloads.Native.run ~max_cycles:100_000_000 img in
+    (match r.halt with
+     | Some Machine.Cpu.Break_hit -> ()
+     | h -> Alcotest.failf "native sfuzz: %a" Fmt.(option Machine.Cpu.pp_halt) h);
+    let base =
+      match Asm.Image.find_symbol img "a" with
+      | Some (Data a) -> a
+      | _ -> Alcotest.fail "no array symbol"
+    in
+    ( Workloads.Native.read_var img r "g0",
+      Workloads.Native.read_var img r "g1",
+      read_array r.machine base )
+  | `Sensmart ->
+    let k = Kernel.boot [ img ] in
+    (match Kernel.run ~max_cycles:200_000_000 k with
+     | Machine.Cpu.Halted Break_hit -> ()
+     | s -> Alcotest.failf "sensmart sfuzz: %a" Machine.Cpu.pp_stop s);
+    let base =
+      match Asm.Image.find_symbol img "a" with
+      | Some (Data a) -> a
+      | _ -> Alcotest.fail "no array symbol"
+    in
+    ( Kernel.read_var k 0 "g0",
+      Kernel.read_var k 0 "g1",
+      List.init 16 (fun i -> Kernel.heap_byte k 0 (base + i)) )
+
+let prop_stmt_fuzz_native =
+  QCheck.Test.make ~name:"random programs: compiled(native) == interpreter"
+    ~count:80 (QCheck.make gen_stmt_prog)
+    (fun p -> observe_machine `Native p = observe_interp p)
+
+let prop_stmt_fuzz_sensmart =
+  QCheck.Test.make ~name:"random programs: compiled(sensmart) == interpreter"
+    ~count:60 (QCheck.make gen_stmt_prog)
+    (fun p -> observe_machine `Sensmart p = observe_interp p)
+
+(* The hand-written programs must also agree with the interpreter. *)
+let interp_agrees_on_crc () =
+  let src = {|
+    var buf[64];
+    var r;
+    fun step(x) {
+      if (x & 1) { return (x >> 1) ^ 0xB400; }
+      return x >> 1;
+    }
+    fun main() {
+      var st = 0x1234;
+      var i = 0;
+      while (i < 64) { st = step(st); buf[i] = st & 0xFF; i = i + 1; }
+      var crc = 0xFFFF;
+      i = 0;
+      while (i < 64) {
+        crc = crc ^ (buf[i] << 8);
+        var b = 0;
+        while (b < 8) {
+          if (crc & 0x8000) { crc = (crc << 1) ^ 0x1021; }
+          else { crc = crc << 1; }
+          b = b + 1;
+        }
+        i = i + 1;
+      }
+      r = crc;
+      halt;
+    }
+  |} in
+  let prog = Minic.Parser.parse ~name:"crc" src in
+  let st = Minic.Interp.run prog in
+  Alcotest.(check int) "interpreter crc" (Programs.Crc_bench.expected ())
+    (Minic.Interp.global st "r")
+
+let () =
+  Alcotest.run "minic"
+    [ ("language",
+       [ Alcotest.test_case "arithmetic" `Quick arithmetic;
+         Alcotest.test_case "wrapping" `Quick wrapping;
+         Alcotest.test_case "bit ops and shifts" `Quick bitops_and_shifts;
+         Alcotest.test_case "comparisons" `Quick comparisons;
+         Alcotest.test_case "unsigned compare" `Quick unsigned_compare;
+         Alcotest.test_case "while" `Quick while_loop;
+         Alcotest.test_case "if/else" `Quick if_else;
+         Alcotest.test_case "recursion" `Quick functions_and_recursion;
+         Alcotest.test_case "multiple args" `Quick multiple_args;
+         Alcotest.test_case "locals" `Quick locals_are_independent;
+         Alcotest.test_case "arrays" `Quick arrays;
+         Alcotest.test_case "crc in minic" `Quick crc_in_minic;
+         Alcotest.test_case "builtins" `Quick builtins_io;
+         Alcotest.test_case "radio" `Quick radio_builtin ]);
+      ("errors",
+       [ Alcotest.test_case "parse errors" `Quick parse_errors;
+         Alcotest.test_case "codegen errors" `Quick codegen_errors ]);
+      ("interpreter",
+       [ Alcotest.test_case "crc agrees" `Quick interp_agrees_on_crc ]);
+      ("fuzz",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_expr_fuzz; prop_stmt_fuzz_native; prop_stmt_fuzz_sensmart ]) ]

@@ -1,0 +1,122 @@
+(* Multi-mote network tests: multi-hop byte collection over a chain of
+   SenSmart motes running minic programs, with and without loss. *)
+
+let compile ~name src = Minic.Codegen.compile_source ~name src
+
+let leaf ~packets = compile ~name:"leaf" (Printf.sprintf {|
+  var sent;
+  fun main() {
+    sent = 0;
+    while (sent < %d) {
+      radio_send(0x55);
+      radio_send(sent);
+      radio_send(sent * 3);
+      sent = sent + 1;
+    }
+    halt;
+  }
+|} packets)
+
+let relay ~bytes = compile ~name:"relay" (Printf.sprintf {|
+  var fwd;
+  fun main() {
+    fwd = 0;
+    while (fwd < %d) {
+      if (radio_avail()) {
+        radio_send(radio_recv());
+        fwd = fwd + 1;
+      }
+    }
+    halt;
+  }
+|} bytes)
+
+let sink ~bytes = compile ~name:"sink" (Printf.sprintf {|
+  var got;
+  var sum;
+  fun main() {
+    got = 0;
+    sum = 0;
+    while (got < %d) {
+      if (radio_avail()) {
+        sum = sum + radio_recv();
+        got = got + 1;
+      }
+    }
+    halt;
+  }
+|} bytes)
+
+let three_hop_collection () =
+  let packets = 10 in
+  let bytes = 3 * packets in
+  let net =
+    Net.create
+      [ [ sink ~bytes ]; [ relay ~bytes ]; [ leaf ~packets ] ]
+  in
+  Net.chain net;
+  let still_running = Net.run ~max_cycles:20_000_000 net in
+  Alcotest.(check int) "all motes finished" 0 still_running;
+  let sk = (Net.node net 0).kernel in
+  Alcotest.(check int) "sink got every byte" bytes (Kernel.read_var sk 0 "got");
+  (* sum of 0x55 + i + 3i for i in 0..9 *)
+  let expected = (packets * 0x55) + (4 * (packets * (packets - 1) / 2)) in
+  Alcotest.(check int) "payload intact across two hops" expected
+    (Kernel.read_var sk 0 "sum")
+
+let lossy_link_drops_bytes () =
+  let packets = 10 in
+  let bytes = 3 * packets in
+  let net =
+    Net.create ~loss_permille:300
+      [ [ sink ~bytes ]; [ leaf ~packets ] ]
+  in
+  Net.chain net;
+  (* The sink will not see all bytes; it must still be running. *)
+  let still = Net.run ~max_cycles:3_000_000 net in
+  Alcotest.(check bool) "sink still waiting" true (still >= 1);
+  Alcotest.(check bool) "some bytes dropped" true (net.dropped > 0);
+  Alcotest.(check bool) "some bytes delivered" true (net.routed > 0)
+
+let broadcast_reaches_all_neighbours () =
+  let bytes = 3 in
+  let listener = sink ~bytes in
+  let net =
+    Net.create [ [ leaf ~packets:1 ]; [ listener ]; [ listener ] ]
+  in
+  Net.link net 0 1;
+  Net.link net 0 2;
+  let still = Net.run ~max_cycles:10_000_000 net in
+  Alcotest.(check int) "everyone finished" 0 still;
+  Alcotest.(check int) "listener 1 heard" bytes
+    (Kernel.read_var (Net.node net 1).kernel 0 "got");
+  Alcotest.(check int) "listener 2 heard" bytes
+    (Kernel.read_var (Net.node net 2).kernel 0 "got")
+
+let multitasking_mote_in_a_network () =
+  (* A mote can run the relay *and* an unrelated compute task; SenSmart
+     keeps both making progress. *)
+  let packets = 6 in
+  let bytes = 3 * packets in
+  let compute = Asm.Assembler.assemble (Programs.Lfsr_bench.program ()) in
+  let net =
+    Net.create
+      [ [ sink ~bytes ]; [ relay ~bytes; compute ]; [ leaf ~packets ] ]
+  in
+  Net.chain net;
+  let still = Net.run ~max_cycles:30_000_000 net in
+  Alcotest.(check int) "all finished" 0 still;
+  let mid = (Net.node net 1).kernel in
+  Alcotest.(check int) "lfsr alongside relaying"
+    (Programs.Lfsr_bench.expected ())
+    (Kernel.read_var mid 1 "bench_result");
+  Alcotest.(check int) "sink complete" bytes
+    (Kernel.read_var (Net.node net 0).kernel 0 "got")
+
+let () =
+  Alcotest.run "net"
+    [ ("collection",
+       [ Alcotest.test_case "three-hop collection" `Quick three_hop_collection;
+         Alcotest.test_case "lossy link" `Quick lossy_link_drops_bytes;
+         Alcotest.test_case "broadcast" `Quick broadcast_reaches_all_neighbours;
+         Alcotest.test_case "multitasking relay" `Quick multitasking_mote_in_a_network ]) ]

@@ -1,0 +1,190 @@
+(* Differential tests of the benchmark programs: every benchmark must
+   compute the same result natively (no OS) and naturalized under the
+   SenSmart kernel — the strongest end-to-end check that rewriting
+   preserves program semantics. *)
+
+let assemble = Asm.Assembler.assemble
+
+let native_result img =
+  let r = Workloads.Native.run img in
+  (match r.halt with
+   | Some Machine.Cpu.Break_hit -> ()
+   | h -> Alcotest.failf "native run of %s: %a" img.Asm.Image.name
+            Fmt.(option Machine.Cpu.pp_halt) h);
+  Workloads.Native.result img r
+
+let kernel_result img =
+  let k = Kernel.boot [ img ] in
+  (match Kernel.run k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Alcotest.failf "kernel run of %s: %a" img.Asm.Image.name Machine.Cpu.pp_stop s);
+  (match Kernel.outcomes k with
+   | [ (_, "exit") ] -> ()
+   | [ (_, r) ] -> Alcotest.failf "%s terminated: %s" img.Asm.Image.name r
+   | _ -> Alcotest.fail "expected one outcome");
+  (Kernel.read_var k 0 "bench_result", k)
+
+let differential name img expected =
+  let n = native_result img in
+  Alcotest.(check int) (name ^ " native = model") expected n;
+  let kr, _ = kernel_result img in
+  Alcotest.(check int) (name ^ " sensmart = native") n kr
+
+let lfsr () =
+  differential "lfsr" (assemble (Programs.Lfsr_bench.program ()))
+    (Programs.Lfsr_bench.expected ())
+
+let crc () =
+  differential "crc" (assemble (Programs.Crc_bench.program ()))
+    (Programs.Crc_bench.expected ())
+
+let amplitude () =
+  differential "amplitude"
+    (assemble (Programs.Amplitude_bench.program ()))
+    (Programs.Amplitude_bench.expected ())
+
+let readadc () =
+  differential "readadc" (assemble (Programs.Readadc_bench.program ()))
+    (Programs.Readadc_bench.expected ())
+
+let eventchain () =
+  differential "eventchain"
+    (assemble (Programs.Eventchain_bench.program ()))
+    (Programs.Eventchain_bench.expected ())
+
+let timer () =
+  let img = assemble (Programs.Timer_bench.program ()) in
+  differential "timer" img (Programs.Timer_bench.expected ());
+  let r = Workloads.Native.run img in
+  Alcotest.(check bool) "timer takes at least the hardware bound" true
+    (r.cycles >= Programs.Timer_bench.min_cycles ())
+
+let am () =
+  let img = assemble (Programs.Am_bench.program ()) in
+  let n = Workloads.Native.run img in
+  Alcotest.(check int) "native bytes on air"
+    (Programs.Am_bench.expected_bytes ())
+    n.machine.io.radio_tx_count;
+  Alcotest.(check int) "native result counts bytes"
+    (Programs.Am_bench.expected_bytes ())
+    (Workloads.Native.result img n);
+  let k = Kernel.boot [ img ] in
+  (match Kernel.run k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Alcotest.failf "kernel am: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "sensmart bytes on air"
+    (Programs.Am_bench.expected_bytes ())
+    k.m.io.radio_tx_count
+
+let periodic_native () =
+  let activations = 5 in
+  let img = assemble (Programs.Periodic_task.program ~activations ()) in
+  let r = Workloads.Native.run img in
+  Alcotest.(check int) "activations" activations (Workloads.Native.result img r);
+  (* The run must span at least the nominal number of periods (minus the
+     partial first one) and the sleep time must be accounted idle. *)
+  let nominal = Programs.Periodic_task.nominal_cycles ~activations () in
+  Alcotest.(check bool) "duration >= ~nominal" true (r.cycles >= nominal - (nominal / 5));
+  Alcotest.(check bool) "mostly idle" true (r.active_cycles * 2 < r.cycles)
+
+let periodic_under_kernel () =
+  let activations = 4 in
+  let img = assemble (Programs.Periodic_task.program ~activations ()) in
+  let kr, _ = kernel_result img in
+  Alcotest.(check int) "activations" activations kr
+
+(* Walk the feeder's trees in OCaml and check they are well-formed BSTs
+   containing exactly trees*nodes nodes. *)
+let feeder_builds_valid_trees () =
+  let trees = 3 and nodes = 12 in
+  let img = assemble (Programs.Bintree.feeder ~trees ~nodes ()) in
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m img.words;
+  List.iter (fun (a, b) -> Machine.Cpu.write8 m a b) img.data_init;
+  m.pc <- img.entry;
+  (* Run until the feeder reaches its steady-state sleep. *)
+  (match Machine.Cpu.run ~max_cycles:10_000_000 m with
+   | Sleeping -> ()
+   | s -> Alcotest.failf "feeder did not settle: %a" Machine.Cpu.pp_stop s);
+  let roots_addr =
+    match Asm.Image.find_symbol img "roots" with
+    | Some (Data a) -> a
+    | _ -> Alcotest.fail "roots symbol missing"
+  in
+  let read16 = Machine.Cpu.read16 m in
+  let count = ref 0 in
+  let rec walk addr lo hi =
+    if addr <> 0 then begin
+      incr count;
+      let key = read16 addr in
+      Alcotest.(check bool) "bst order" true (key >= lo && key <= hi);
+      walk (read16 (addr + 2)) lo (max lo (key - 1));
+      walk (read16 (addr + 4)) key hi
+    end
+  in
+  for t = 0 to trees - 1 do
+    walk (read16 (roots_addr + (2 * t))) 0 0xFFFF
+  done;
+  Alcotest.(check int) "all nodes present" (trees * nodes) !count
+
+let search_tasks_run_under_kernel () =
+  let nodes = 12 in
+  let feeder = assemble (Programs.Bintree.feeder ~trees:2 ~nodes ()) in
+  let s1 = assemble (Programs.Bintree.search ~name:"s1" ~nodes ~seed:0x1111 ()) in
+  let s2 = assemble (Programs.Bintree.search ~name:"s2" ~nodes ~seed:0x2222 ()) in
+  let k = Kernel.boot [ feeder; s1; s2 ] in
+  (match Kernel.run ~max_cycles:30_000_000 k with
+   | Machine.Cpu.Out_of_fuel -> ()
+   | s -> Alcotest.failf "workload stopped: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check (list (pair string string))) "no terminations" []
+    (Kernel.outcomes k);
+  Alcotest.(check bool) "s1 searched" true (Kernel.read_var k 1 "searches" > 0);
+  Alcotest.(check bool) "s2 searched" true (Kernel.read_var k 2 "searches" > 0)
+
+(* The minic-built versions of the benchmarks must agree with the same
+   models as the assembly versions, natively and under SenSmart. *)
+let minic_suite_differential () =
+  List.iter
+    (fun (name, _) ->
+      match Programs.Minic_suite.expected name with
+      | None -> ()
+      | Some expected ->
+        let img = Programs.Minic_suite.compile name in
+        let n = Workloads.Native.run ~max_cycles:200_000_000 img in
+        (match n.halt with
+         | Some Machine.Cpu.Break_hit -> ()
+         | h -> Alcotest.failf "minic %s native: %a" name
+                  Fmt.(option Machine.Cpu.pp_halt) h);
+        Alcotest.(check int) (name ^ " native") expected
+          (Workloads.Native.read_var img n "r");
+        let k = Kernel.boot [ img ] in
+        (match Kernel.run ~max_cycles:400_000_000 k with
+         | Machine.Cpu.Halted Break_hit -> ()
+         | s -> Alcotest.failf "minic %s sensmart: %a" name Machine.Cpu.pp_stop s);
+        Alcotest.(check int) (name ^ " sensmart") expected (Kernel.read_var k 0 "r"))
+    Programs.Minic_suite.sources
+
+let minic_suite_all_compile () =
+  List.iter
+    (fun (name, _) -> ignore (Programs.Minic_suite.compile name))
+    Programs.Minic_suite.sources
+
+let () =
+  Alcotest.run "programs"
+    [ ("kernel benchmarks (native = sensmart = model)",
+       [ Alcotest.test_case "lfsr" `Quick lfsr;
+         Alcotest.test_case "crc" `Quick crc;
+         Alcotest.test_case "amplitude" `Quick amplitude;
+         Alcotest.test_case "readadc" `Quick readadc;
+         Alcotest.test_case "eventchain" `Quick eventchain;
+         Alcotest.test_case "timer" `Quick timer;
+         Alcotest.test_case "am" `Quick am ]);
+      ("periodic task",
+       [ Alcotest.test_case "native timing" `Quick periodic_native;
+         Alcotest.test_case "under kernel" `Quick periodic_under_kernel ]);
+      ("minic suite",
+       [ Alcotest.test_case "all compile" `Quick minic_suite_all_compile;
+         Alcotest.test_case "differential" `Quick minic_suite_differential ]);
+      ("bintree workload",
+       [ Alcotest.test_case "feeder builds valid BSTs" `Quick feeder_builds_valid_trees;
+         Alcotest.test_case "search tasks run" `Quick search_tasks_run_under_kernel ]) ]

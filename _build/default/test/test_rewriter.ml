@@ -1,0 +1,154 @@
+(* Tests for the binary rewriter in isolation: shift-table algebra,
+   instruction-count preservation, trampoline merging, and static
+   properties of the naturalized image. *)
+
+open Asm.Macros
+
+let assemble = Asm.Assembler.assemble
+
+let sum_prog =
+  Asm.Ast.program "sum"
+    ([ lbl "start"; ldi 24 0; ldi 16 10; lbl "top"; add 24 16; dec 16 ]
+     @ [ brne "top"; break ])
+
+let shift_table_basic () =
+  let t = Rewriter.Shift_table.create ~base:100 [ 4; 10; 10; 2 ] in
+  Alcotest.(check int) "size" 4 (Rewriter.Shift_table.size t);
+  Alcotest.(check int) "before any entry" 100 (Rewriter.Shift_table.to_naturalized t 0);
+  Alcotest.(check int) "at an entry" 102 (Rewriter.Shift_table.to_naturalized t 2);
+  Alcotest.(check int) "after one" 104 (Rewriter.Shift_table.to_naturalized t 3);
+  Alcotest.(check int) "after two" 107 (Rewriter.Shift_table.to_naturalized t 5);
+  Alcotest.(check int) "after all" 116 (Rewriter.Shift_table.to_naturalized t 12)
+
+let shift_table_inverse =
+  QCheck.Test.make ~name:"shift table inverse" ~count:500
+    QCheck.(pair (small_list (int_range 0 500)) (int_range 0 500))
+    (fun (entries, a) ->
+      let t = Rewriter.Shift_table.create ~base:7 entries in
+      match Rewriter.Shift_table.of_naturalized t (Rewriter.Shift_table.to_naturalized t a) with
+      | Some a' -> a' = a
+      | None -> false)
+
+let monotone =
+  QCheck.Test.make ~name:"naturalized addresses strictly increase" ~count:200
+    QCheck.(small_list (int_range 0 100))
+    (fun entries ->
+      let t = Rewriter.Shift_table.create ~base:0 entries in
+      let ok = ref true in
+      for a = 0 to 99 do
+        if Rewriter.Shift_table.to_naturalized t (a + 1)
+           <= Rewriter.Shift_table.to_naturalized t a
+        then ok := false
+      done;
+      !ok)
+
+let count_insns words = List.length (Avr.Decode.program words)
+
+let instruction_count_preserved () =
+  let img = assemble sum_prog in
+  let nat = Rewriter.Rewrite.run ~base:0 img in
+  let orig_n = count_insns (Array.sub img.words 0 img.text_words) in
+  let text = Array.sub nat.words 0 nat.text_words in
+  Alcotest.(check int) "same instruction count" orig_n (count_insns text)
+
+let text_size_is_orig_plus_shift () =
+  let img = assemble sum_prog in
+  let nat = Rewriter.Rewrite.run ~base:0 img in
+  Alcotest.(check int) "text words"
+    (img.text_words + Rewriter.Shift_table.size nat.shift)
+    nat.text_words
+
+let inflation_reasonable () =
+  (* The paper reports SenSmart inflation within ~200% (i.e. naturalized
+     size under ~3x native). *)
+  let img = assemble sum_prog in
+  let nat = Rewriter.Rewrite.run ~base:0 img in
+  let r = Rewriter.Naturalized.inflation nat in
+  Alcotest.(check bool) (Printf.sprintf "inflation %.2f in (1, 20)" r) true
+    (r > 1.0 && r < 20.0)
+
+let merging_shares_trampolines () =
+  (* Two calls to the same function must share one call trampoline. *)
+  let prog =
+    Asm.Ast.program "twocalls"
+      ((lbl "start" :: sp_init)
+       @ [ call "f"; call "f"; break; lbl "f"; ldi 24 1; ret ])
+  in
+  let nat = Rewriter.Rewrite.run ~base:0 (assemble prog) in
+  Alcotest.(check bool) "merged > 0" true (nat.stats.merged > 0)
+
+let ablation_grouping_smaller () =
+  (* Grouped LDD access must produce fewer trampolines than ungrouped. *)
+  let body =
+    [ std Avr.Isa.Ybase 1 24; std Avr.Isa.Ybase 2 25;
+      ldd 16 Avr.Isa.Ybase 1; ldd 17 Avr.Isa.Ybase 2; mov 24 16; break ]
+  in
+  let prog sp = Asm.Ast.program "grp" ((lbl "start" :: sp_init) @ sp @ body) in
+  let img = assemble (prog []) in
+  let with_g = Rewriter.Rewrite.run ~base:0 img in
+  let without_g =
+    Rewriter.Rewrite.run
+      ~config:{ Rewriter.Rewrite.default_config with group_accesses = false }
+      ~base:0 img
+  in
+  Alcotest.(check bool) "grouping shrinks the naturalized image" true
+    (Rewriter.Naturalized.total_words with_g < Rewriter.Naturalized.total_words without_g)
+
+let naturalized_decodes () =
+  (* Every word of the patched text + support region must decode. *)
+  let img = assemble sum_prog in
+  let nat = Rewriter.Rewrite.run ~base:0 img in
+  let text = Array.sub nat.words 0 nat.text_words in
+  ignore (Avr.Decode.program text);
+  let support =
+    Array.sub nat.words (nat.text_words + nat.rodata_words) nat.support_words
+  in
+  ignore (Avr.Decode.program support)
+
+let forward_branch_island () =
+  (* A forward branch whose span inflates past the 7-bit range must be
+     promoted to a range island and still behave correctly.  The padding
+     is made of instructions that all inflate (heap stores). *)
+  let padding =
+    List.concat (List.init 50 (fun _ -> [ sts "v" 16 ]))
+  in
+  let prog =
+    Asm.Ast.program "island"
+      ~data:[ { dname = "v"; size = 2; init = [] };
+              { dname = "out"; size = 1; init = [] } ]
+      ((lbl "start" :: sp_init)
+       @ [ ldi 16 1; cpi 16 1; breq "far" ]
+       @ padding
+       @ [ ldi 17 1; sts "out" 17; break;
+           lbl "far"; ldi 17 2; sts "out" 17; break ])
+  in
+  let img = assemble prog in
+  (* In the original the branch is in range... *)
+  let k = Kernel.boot [ img ] in
+  (match Kernel.run k with
+   | Machine.Cpu.Halted Break_hit -> ()
+   | s -> Alcotest.failf "island run: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "took the branch through the island" 2
+    (Kernel.read_var k 0 "out")
+
+let entry_is_naturalized () =
+  let img = assemble sum_prog in
+  let nat = Rewriter.Rewrite.run ~base:64 img in
+  Alcotest.(check int) "entry"
+    (Rewriter.Shift_table.to_naturalized nat.shift img.entry)
+    nat.entry
+
+let () =
+  Alcotest.run "rewriter"
+    [ ("shift table",
+       [ Alcotest.test_case "basic" `Quick shift_table_basic ]
+       @ List.map QCheck_alcotest.to_alcotest [ shift_table_inverse; monotone ]);
+      ("rewrite",
+       [ Alcotest.test_case "instruction count preserved" `Quick instruction_count_preserved;
+         Alcotest.test_case "text = orig + shift" `Quick text_size_is_orig_plus_shift;
+         Alcotest.test_case "inflation bounded" `Quick inflation_reasonable;
+         Alcotest.test_case "trampoline merging" `Quick merging_shares_trampolines;
+         Alcotest.test_case "grouping ablation" `Quick ablation_grouping_smaller;
+         Alcotest.test_case "naturalized decodes" `Quick naturalized_decodes;
+         Alcotest.test_case "forward-branch island" `Quick forward_branch_island;
+         Alcotest.test_case "entry mapping" `Quick entry_is_naturalized ]) ]
