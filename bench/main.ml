@@ -10,12 +10,18 @@
       microbenchmarks — measuring how long the *reproduction itself*
       takes to produce each artifact on the host.
 
-   Usage: dune exec bench/main.exe [-- --quick] *)
+   3. A machine-readable metrics snapshot (sensmart_metrics.json): the
+      uniform counter registry from lib/trace, populated by a fixed
+      multitasking + network workload.  `--smoke` emits only this blob —
+      the cheap CI regression check.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --smoke] *)
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 (* --- part 1: regenerate the evaluation section -------------------------- *)
 
@@ -126,9 +132,21 @@ let run_bechamel () =
          | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
          | _ -> Fmt.pr "%-40s (no estimate)@." name)
 
+(* --- part 3: machine-readable metrics snapshot --------------------------- *)
+
+let emit_metrics () =
+  let tr = Workloads.Metrics.collect () in
+  let json = Workloads.Metrics.json tr in
+  let path = Workloads.Metrics.write_file tr in
+  Fmt.pr "@.=== metrics snapshot (%s) ===@.%s@." path json
+
 let () =
-  Fmt.pr "SenSmart reproduction benchmark harness%s@."
-    (if quick then " (quick)" else "");
-  reproduce ();
-  run_bechamel ();
-  Fmt.pr "@.done.@."
+  if smoke then emit_metrics ()
+  else begin
+    Fmt.pr "SenSmart reproduction benchmark harness%s@."
+      (if quick then " (quick)" else "");
+    reproduce ();
+    emit_metrics ();
+    run_bechamel ();
+    Fmt.pr "@.done.@."
+  end

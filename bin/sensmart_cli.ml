@@ -74,7 +74,6 @@ let run_cmd =
   let exec names budget trace =
     let images = List.map lookup_image names in
     let k = Sensmart.boot images in
-    k.log_events <- trace;
     let stop = Sensmart.run ~max_cycles:budget k in
     Fmt.pr "stopped: %a after %d cycles (%.3f s)@." Machine.Cpu.pp_stop stop
       k.m.cycles (Avr.Cycles.to_seconds k.m.cycles);
@@ -93,26 +92,75 @@ let run_cmd =
           t.region.p_l t.region.p_u (Kernel.Task.stack_alloc t) status)
       k.tasks;
     if trace then
-      List.iter
-        (fun (e : Kernel.event) ->
-          match e with
-          | Switched { at; from_task; to_task } ->
-            Fmt.pr "%10d  switch %s -> %d@." at
-              (match from_task with Some i -> string_of_int i | None -> "-")
-              to_task
-          | Relocated { at; needy; delta; moved } ->
-            Fmt.pr "%10d  relocation: +%dB to task %d (%dB moved)@." at delta
-              needy moved
-          | Terminated { at; task; reason } ->
-            Fmt.pr "%10d  task %d stopped: %s@." at task reason
-          | Spawned { at; task; stack } ->
-            Fmt.pr "%10d  task %d spawned with %dB stack@." at task stack)
+      List.iter (fun e -> print_endline (Trace.json_of_event e))
         (Kernel.event_log k)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run programs concurrently under the SenSmart kernel")
     Term.(const exec $ progs_arg $ budget $ trace)
+
+(* trace: run programs, replay the event stream as JSONL *)
+let trace_cmd =
+  let budget =
+    Arg.(value & opt int 200_000_000
+         & info [ "budget" ] ~doc:"Cycle budget for the whole run.")
+  in
+  let exec names budget =
+    let images = List.map lookup_image names in
+    let k = Sensmart.boot images in
+    ignore (Sensmart.run ~max_cycles:budget k);
+    let tr = k.trace in
+    if Trace.overflow tr > 0 then
+      Fmt.epr "warning: event ring overflowed; %d oldest events lost@."
+        (Trace.overflow tr);
+    print_string (Trace.to_jsonl tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run programs under the kernel and dump the event stream as \
+             JSON lines (one event per line)")
+    Term.(const exec $ progs_arg $ budget)
+
+(* stats: run programs (or the default metrics workload), print counters *)
+let stats_cmd =
+  let progs =
+    let doc =
+      "Programs to run; with none, the default metrics workload \
+       (multitasking + two-mote network) runs instead."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let budget =
+    Arg.(value & opt int 2_000_000
+         & info [ "budget" ] ~doc:"Cycle budget for the run.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ]
+             ~doc:"Also write the JSON snapshot to this file.")
+  in
+  let exec names budget out =
+    let tr =
+      match names with
+      | [] -> Workloads.Metrics.collect ~window:budget ()
+      | names ->
+        let images = List.map lookup_image names in
+        let k = Sensmart.boot images in
+        ignore (Sensmart.run ~max_cycles:budget k);
+        Kernel.publish_counters k;
+        k.trace
+    in
+    print_endline (Trace.counters_json tr);
+    match out with
+    | None -> ()
+    | Some path -> ignore (Workloads.Metrics.write_file ~path tr)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Emit the uniform counter snapshot (kernel, CPU, per-task, \
+             network) as JSON")
+    Term.(const exec $ progs $ budget $ out)
 
 (* compile: minic source file -> run or disassemble *)
 let compile_cmd =
@@ -234,5 +282,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; disasm_cmd; native_cmd; run_cmd; compile_cmd; table1; table2; fig4;
-            fig5; fig6; fig7; fig8; all_cmd ]))
+          [ list_cmd; disasm_cmd; native_cmd; run_cmd; trace_cmd; stats_cmd;
+            compile_cmd; table1; table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

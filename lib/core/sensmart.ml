@@ -13,6 +13,8 @@
    - {!Kernel}: the SenSmart kernel runtime: preemptive round-robin
      scheduling on software traps, logical addressing, stack
      relocation.
+   - {!Trace}: the shared observability layer — bounded event ring,
+     counters registry, JSONL/JSON export.
    - {!Programs}: the paper's benchmark programs and workloads.
    - {!Minic}: a small C-like language compiled to the assembler DSL
      (standing in for the nesC toolchain).
@@ -41,6 +43,7 @@ module Matevm = Matevm
 module Workloads = Workloads
 module Minic = Minic
 module Net = Net
+module Trace = Trace
 
 (** Assemble a program source into a binary image with its symbol list. *)
 let assemble = Asm.Assembler.assemble

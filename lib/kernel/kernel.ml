@@ -62,15 +62,6 @@ type stats = {
   mutable preempt_switches : int;
 }
 
-(** Coarse kernel events for observability: context switches, stack
-    motion, task lifecycle.  Software traps are deliberately not logged
-    (too frequent); they appear in {!stats}. *)
-type event =
-  | Switched of { at : int; from_task : int option; to_task : int }
-  | Relocated of { at : int; needy : int; delta : int; moved : int }
-  | Terminated of { at : int; task : int; reason : string }
-  | Spawned of { at : int; task : int; stack : int }
-
 type t = {
   m : Machine.Cpu.t;
   cfg : config;
@@ -80,8 +71,10 @@ type t = {
   mutable next_flash : int;  (** next free flash word, for spawned tasks *)
   app_limit : int;  (** top of the application area for this boot *)
   stats : stats;
-  mutable log_events : bool;  (** off by default; enable for debugging *)
-  mutable events : event list;  (** newest first *)
+  trace : Trace.t;
+      (** event stream + counters registry; standalone boots own their
+          sink, networked boots share one across motes *)
+  mote : int;  (** id stamped onto this kernel's trace events *)
 }
 
 exception Admission_failure of string
@@ -91,10 +84,14 @@ let live_regions k = List.map (fun (t : Task.t) -> t.region) (live_tasks k)
 
 let find_task k id = List.find (fun (t : Task.t) -> t.id = id) k.tasks
 
-let log k e = if k.log_events then k.events <- e :: k.events
+(* Coarse kernel events: context switches, stack motion, task lifecycle.
+   Software traps are deliberately not logged (too frequent); they are
+   counted in {!stats}. *)
+let log k kind = Trace.emit k.trace ~mote:k.mote ~at:k.m.cycles kind
 
-(** The recorded events, oldest first. *)
-let event_log k = List.rev k.events
+(** The recorded events, oldest first (the whole sink's stream: for a
+    networked kernel this includes sibling motes' events). *)
+let event_log k = Trace.events k.trace
 
 (* --- TCB and kernel-cell plumbing -------------------------------------- *)
 
@@ -115,6 +112,8 @@ let sync_cells k (t : Task.t) =
 
 let save_context k (t : Task.t) =
   let m = k.m in
+  (* Close the task's accounting interval before charging kernel cost. *)
+  Task.charge t ~cycles:m.cycles ~insns:m.insns;
   for r = 0 to 31 do
     Machine.Cpu.write8 m (t.tcb + r) m.regs.(r)
   done;
@@ -135,7 +134,10 @@ let restore_context k (t : Task.t) =
   m.sp <- read_cell16 m (t.tcb + 33);
   m.pc <- read_cell16 m (t.tcb + 35);
   sync_cells k t;
-  m.cycles <- m.cycles + Costing.context_restore
+  m.cycles <- m.cycles + Costing.context_restore;
+  (* The task's accounting interval opens after the restore cost, so
+     switch overhead is not billed to either side. *)
+  Task.mark t ~cycles:m.cycles ~insns:m.insns
 
 (* Saved-SP cell of a suspended task, kept in step with region moves. *)
 let sync_saved_sp k (t : Task.t) = write_cell16 k.m (t.tcb + 33) t.region.sp
@@ -178,9 +180,8 @@ let rec schedule k =
        | Some c when Task.is_live c -> save_context k c
        | Some _ | None -> ());
       log k
-        (Switched
-           { at = k.m.cycles;
-             from_task = (match k.current with Some c -> Some c.id | None -> None);
+        (Trace.Switched
+           { from_task = (match k.current with Some c -> Some c.id | None -> None);
              to_task = next.id });
       restore_context k next;
       k.current <- Some next;
@@ -213,7 +214,10 @@ let mem_move k ~src ~dst ~len =
 
 let terminate k (t : Task.t) reason =
   Logs.debug (fun f -> f "task %s terminated: %s" t.name reason);
-  log k (Terminated { at = k.m.cycles; task = t.id; reason });
+  log k (Trace.Terminated { task = t.id; reason });
+  (match k.current with
+   | Some c when c == t -> Task.charge t ~cycles:k.m.cycles ~insns:k.m.insns
+   | _ -> ());
   t.status <- Exited reason;
   (* Preserve the heap for post-mortem inspection before the region is
      recycled. *)
@@ -250,7 +254,7 @@ let grow_stack k (t : Task.t) =
       Relocation.donate ~regions ~donor:donor_region ~needy:t.region ~delta
         ~move:(fun ~src ~dst ~len -> mem_move k ~src ~dst ~len)
     in
-    log k (Relocated { at = k.m.cycles; needy = t.id; delta; moved });
+    log k (Trace.Relocated { needy = t.id; delta; moved });
     k.stats.relocations <- k.stats.relocations + 1;
     (* Propagate adjusted SPs: live for the current task, saved for the
        suspended ones. *)
@@ -361,7 +365,8 @@ let handle_syscall k _m n =
     not fit the application area, or the naturalized code overflows
     flash. *)
 let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
-    (images : Asm.Image.t list) : t =
+    ?trace ?(mote = 0) (images : Asm.Image.t list) : t =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   (* Place naturalized programs sequentially in flash. *)
   let nats, _ =
     List.fold_left
@@ -423,7 +428,8 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
         let tcb = app_limit + (id * Kcells.tcb_bytes) in
         { Task.id; name = nat.source.name; nat; region; tcb; status = Ready;
           activations = 0; grow_events = 0; min_headroom = stack;
-          heap_snapshot = None })
+          heap_snapshot = None; cycles_used = 0; insns_used = 0;
+          mark_cycles = 0; mark_insns = 0 })
       nats
   in
   let next_flash =
@@ -433,7 +439,7 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
   in
   let k =
     { m; cfg = config; tasks; current = None; slice_start = 0; next_flash;
-      app_limit; stats; log_events = false; events = [] }
+      app_limit; stats; trace; mote }
   in
   (* Initialize each task's heap contents and TCB. *)
   List.iter
@@ -463,7 +469,12 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
 let run ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
   let rec loop () =
     match Machine.Cpu.run ~max_cycles k.m with
-    | Halted h -> Machine.Cpu.Halted h
+    | Halted h ->
+      (match h with
+       | Machine.Cpu.Break_hit -> ()
+       | Machine.Cpu.Invalid_opcode _ | Machine.Cpu.Fault _ ->
+         log k (Trace.Cpu_fault { reason = Fmt.str "%a" Machine.Cpu.pp_halt h }));
+      Machine.Cpu.Halted h
     | Sleeping ->
       (* A native SLEEP can only appear in unrewritten code; treat it as
          a yield for robustness. *)
@@ -476,6 +487,50 @@ let run ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
     | Out_of_fuel -> Out_of_fuel
   in
   loop ()
+
+(* --- counter publishing ---------------------------------------------------- *)
+
+(** Publish this kernel's statistics, the machine's counters, and the
+    per-task accounting into the trace counters registry, under
+    [prefix].  Pull-based: call it whenever a snapshot is wanted; values
+    are overwritten, not accumulated.  The counter-name schema is
+    documented in DESIGN.md. *)
+let publish_counters ?(prefix = "") k =
+  (* Close the running task's open accounting interval first. *)
+  (match k.current with
+   | Some c when Task.is_live c -> Task.charge c ~cycles:k.m.cycles ~insns:k.m.insns
+   | _ -> ());
+  let set name v = Trace.set_counter k.trace (prefix ^ name) v in
+  let s = k.stats in
+  set "kernel.traps" s.traps;
+  set "kernel.context_switches" s.context_switches;
+  set "kernel.relocations" s.relocations;
+  set "kernel.relocated_bytes" s.relocated_bytes;
+  set "kernel.grow_requests" s.grow_requests;
+  set "kernel.translations" s.translations;
+  set "kernel.init_cycles" s.init_cycles;
+  set "kernel.preempt_delay_total" s.preempt_delay_total;
+  set "kernel.preempt_delay_max" s.preempt_delay_max;
+  set "kernel.preempt_switches" s.preempt_switches;
+  let m = k.m in
+  set "cpu.cycles" m.cycles;
+  set "cpu.active_cycles" (Machine.Cpu.active_cycles m);
+  set "cpu.insns" m.insns;
+  set "cpu.mem_reads" m.mem_reads;
+  set "cpu.mem_writes" m.mem_writes;
+  set "cpu.io_reads" m.io_reads;
+  set "cpu.io_writes" m.io_writes;
+  set "radio.tx_bytes" m.io.radio_tx_count;
+  List.iter
+    (fun (t : Task.t) ->
+      let task name v = set (Printf.sprintf "task.%d.%s" t.id name) v in
+      task "active_cycles" t.cycles_used;
+      task "insns" t.insns_used;
+      task "activations" t.activations;
+      task "grow_events" t.grow_events;
+      task "stack_alloc" (Task.stack_alloc t);
+      task "min_headroom" t.min_headroom)
+    k.tasks
 
 (** Read a byte of a task's heap by *logical* address, live or from the
     post-mortem snapshot if the task has exited. *)
@@ -497,7 +552,8 @@ let finish_spawn k (nat : Naturalized.t) (region : Relocation.region) tcb =
   let t =
     { Task.id = region.id; name = nat.source.name; nat; region; tcb;
       status = Ready; activations = 0; grow_events = 0;
-      min_headroom = region.p_u - region.p_h; heap_snapshot = None }
+      min_headroom = region.p_u - region.p_h; heap_snapshot = None;
+      cycles_used = 0; insns_used = 0; mark_cycles = 0; mark_insns = 0 }
   in
   List.iter
     (fun (laddr, b) ->
@@ -516,8 +572,7 @@ let finish_spawn k (nat : Naturalized.t) (region : Relocation.region) tcb =
   write_cell16 m (tcb + 35) nat.entry;
   m.cycles <- m.cycles + Costing.init_per_task (region.p_u - region.p_l);
   k.tasks <- k.tasks @ [ t ];
-  log k
-    (Spawned { at = m.cycles; task = t.id; stack = region.p_u - region.p_h });
+  log k (Trace.Spawned { task = t.id; stack = region.p_u - region.p_h });
   t
 
 (** Admit a new application while the system runs — the paper's note

@@ -44,14 +44,6 @@ type stats = {
   mutable preempt_switches : int;
 }
 
-(** Coarse kernel events (switches, stack motion, task lifecycle);
-    software traps are counted in {!stats} instead of logged. *)
-type event =
-  | Switched of { at : int; from_task : int option; to_task : int }
-  | Relocated of { at : int; needy : int; delta : int; moved : int }
-  | Terminated of { at : int; task : int; reason : string }
-  | Spawned of { at : int; task : int; stack : int }
-
 type t = {
   m : Machine.Cpu.t;
   cfg : config;
@@ -61,8 +53,13 @@ type t = {
   mutable next_flash : int;  (** next free flash word, for spawned tasks *)
   app_limit : int;  (** top of the application area for this boot *)
   stats : stats;
-  mutable log_events : bool;  (** off by default; enable before running *)
-  mutable events : event list;  (** newest first; see {!event_log} *)
+  trace : Trace.t;
+      (** event stream + counters registry (see {!Trace}); standalone
+          boots own their sink, networked boots share one across motes.
+          Kernel events (switches, stack motion, task lifecycle, CPU
+          faults) are recorded here; software traps are counted in
+          {!stats} instead of logged. *)
+  mote : int;  (** id stamped onto this kernel's trace events *)
 }
 
 exception Admission_failure of string
@@ -72,13 +69,21 @@ val live_tasks : t -> Task.t list
 
 val find_task : t -> int -> Task.t
 
-(** Recorded events, oldest first (empty unless [log_events] was set). *)
-val event_log : t -> event list
+(** Recorded events, oldest first (the whole sink's stream: for a
+    networked kernel this includes sibling motes' events). *)
+val event_log : t -> Trace.event list
 
 (** Naturalize and admit the images onto a fresh mote.  Raises
-    {!Admission_failure} when heaps plus minimum stacks do not fit. *)
+    {!Admission_failure} when heaps plus minimum stacks do not fit.
+    [trace] shares an existing sink (e.g. the network's); [mote]
+    (default 0) stamps this kernel's events. *)
 val boot :
-  ?config:config -> ?rewrite:Rewriter.Rewrite.config -> Asm.Image.t list -> t
+  ?config:config ->
+  ?rewrite:Rewriter.Rewrite.config ->
+  ?trace:Trace.t ->
+  ?mote:int ->
+  Asm.Image.t list ->
+  t
 
 (** Run until every task exits (machine halts with [Break_hit]) or the
     cycle budget runs out. *)
@@ -88,6 +93,12 @@ val run : ?max_cycles:int -> t -> Machine.Cpu.stop
     service".  Needs a spare TCB slot; its memory region is carved from
     free space or donors' surplus stack.  Rolls back on failure. *)
 val spawn : t -> Asm.Image.t -> (Task.t, string) result
+
+(** Publish {!stats}, the machine's cycle/instruction/memory-access
+    counters, and the per-task accounting into the trace counters
+    registry under [prefix] (pull-based; values overwrite).  Counter
+    names are documented in DESIGN.md. *)
+val publish_counters : ?prefix:string -> t -> unit
 
 (** Read a byte of a task's heap by logical address (live, or from the
     post-mortem snapshot after exit). *)

@@ -20,7 +20,26 @@ type t = {
   mutable heap_snapshot : Bytes.t option;
       (** contents of the heap captured when the task stopped, before its
           region was recycled *)
+  mutable cycles_used : int;
+      (** cycles this task was the running task (its own instructions
+          plus kernel services executed on its behalf) *)
+  mutable insns_used : int;  (** instructions retired while running *)
+  mutable mark_cycles : int;  (** machine clock at the last switch-in *)
+  mutable mark_insns : int;
 }
+
+(** Start an accounting interval for [t] at the machine's current
+    cycle/instruction marks. *)
+let mark t ~cycles ~insns =
+  t.mark_cycles <- cycles;
+  t.mark_insns <- insns
+
+(** Close the accounting interval: attribute everything since the last
+    {!mark} to [t] and re-mark. *)
+let charge t ~cycles ~insns =
+  t.cycles_used <- t.cycles_used + max 0 (cycles - t.mark_cycles);
+  t.insns_used <- t.insns_used + max 0 (insns - t.mark_insns);
+  mark t ~cycles ~insns
 
 let heap_size t = t.region.p_h - t.region.p_l
 

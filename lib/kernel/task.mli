@@ -19,7 +19,20 @@ type t = {
   mutable min_headroom : int;  (** smallest observed stack gap *)
   mutable heap_snapshot : Bytes.t option;
       (** heap contents captured when the task stopped *)
+  mutable cycles_used : int;
+      (** cycles this task was the running task (its own instructions
+          plus kernel services executed on its behalf) *)
+  mutable insns_used : int;  (** instructions retired while running *)
+  mutable mark_cycles : int;  (** machine clock at the last switch-in *)
+  mutable mark_insns : int;
 }
+
+(** Open / close a per-task accounting interval against the machine's
+    cycle and instruction counters; the kernel calls these at context
+    switch-in and switch-out. *)
+val mark : t -> cycles:int -> insns:int -> unit
+
+val charge : t -> cycles:int -> insns:int -> unit
 
 val heap_size : t -> int
 

@@ -51,6 +51,10 @@ type t = {
   mutable cycles : int;
   mutable idle_cycles : int;
   mutable insns : int; (* retired instruction count *)
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable io_reads : int; (* subset of the above landing in the I/O area *)
+  mutable io_writes : int;
   mutable halted : halt option;
   mutable sleeping : bool;
   mutable preempt_at : int;
@@ -72,6 +76,10 @@ let create ?(flash = [||]) () =
     cycles = 0;
     idle_cycles = 0;
     insns = 0;
+    mem_reads = 0;
+    mem_writes = 0;
+    io_reads = 0;
+    io_writes = 0;
     halted = None;
     sleeping = false;
     preempt_at = max_int;
@@ -79,10 +87,14 @@ let create ?(flash = [||]) () =
     trace = None }
 
 (** Copy a program image into flash at word address [at] (default 0) and
-    invalidate the decode cache over the written range. *)
+    invalidate the decode cache over the written range.  The word before
+    [at] is invalidated too: a cached 2-word instruction starting at
+    [at - 1] would otherwise keep its stale operand word. *)
 let load ?(at = 0) m (image : int array) =
   Array.blit image 0 m.flash at (Array.length image);
-  Array.fill m.code at (Array.length image) None
+  let lo = max 0 (at - 1) in
+  let hi = min (Array.length m.code) (at + Array.length image) in
+  Array.fill m.code lo (hi - lo) None
 
 let active_cycles m = m.cycles - m.idle_cycles
 
@@ -105,6 +117,8 @@ let sreg_addr = Layout.io_data_addr Io.sreg
 
 let read8 m addr =
   let addr = addr land 0xFFFF in
+  m.mem_reads <- m.mem_reads + 1;
+  if addr < Layout.io_size then m.io_reads <- m.io_reads + 1;
   if addr >= Layout.io_size then
     if addr < Layout.data_size then Char.code (Bytes.unsafe_get m.sram addr)
     else 0
@@ -116,6 +130,8 @@ let read8 m addr =
 
 let write8 m addr v =
   let addr = addr land 0xFFFF and v = v land 0xFF in
+  m.mem_writes <- m.mem_writes + 1;
+  if addr < Layout.io_size then m.io_writes <- m.io_writes + 1;
   if addr >= Layout.io_size then begin
     if addr < Layout.data_size then Bytes.unsafe_set m.sram addr (Char.unsafe_chr v)
   end
@@ -347,12 +363,16 @@ let step m =
       | Push r -> push8 m m.regs.(r)
       | Pop d -> m.regs.(d) <- pop8 m
       | In (d, a) ->
+        m.mem_reads <- m.mem_reads + 1;
+        m.io_reads <- m.io_reads + 1;
         m.regs.(d) <-
           (if a = Io.spl then m.sp land 0xFF
            else if a = Io.sph then (m.sp lsr 8) land 0xFF
            else if a = Io.sreg then m.sreg
            else Io.read m.io ~cycles:m.cycles a)
       | Out (a, r) ->
+        m.mem_writes <- m.mem_writes + 1;
+        m.io_writes <- m.io_writes + 1;
         let v = m.regs.(r) in
         if a = Io.spl then m.sp <- (m.sp land 0xFF00) lor v
         else if a = Io.sph then m.sp <- (m.sp land 0x00FF) lor (v lsl 8)
@@ -423,7 +443,11 @@ let run_native ?(max_cycles = 1_000_000_000) m : halt option =
         fast_forward m wake;
         loop ()
       end
-    | Preempted -> loop ()
+    | Preempted ->
+      (* No kernel is driving this run, so a stale horizon below the
+         clock would make [run] return [Preempted] forever: clear it. *)
+      m.preempt_at <- max_int;
+      loop ()
     | Out_of_fuel -> None
   in
   loop ()

@@ -32,6 +32,10 @@ type t = {
   mutable cycles : int;
   mutable idle_cycles : int;
   mutable insns : int;  (** retired instruction count *)
+  mutable mem_reads : int;  (** data-space reads, I/O dispatch included *)
+  mutable mem_writes : int;
+  mutable io_reads : int;  (** subset of reads landing in the I/O area *)
+  mutable io_writes : int;
   mutable halted : halt option;
   mutable sleeping : bool;
   mutable preempt_at : int;  (** cycle horizon after which {!run} returns *)
@@ -42,7 +46,8 @@ type t = {
 val create : ?flash:int array -> unit -> t
 
 (** [load ?at m image] copies [image] into flash at word address [at]
-    (default 0) and invalidates the decode cache over that range. *)
+    (default 0) and invalidates the decode cache over that range,
+    including a cached 2-word instruction starting at [at - 1]. *)
 val load : ?at:int -> t -> int array -> unit
 
 (** Cycles spent executing (total minus idle). *)

@@ -41,15 +41,19 @@ type t = {
   mutable adc_seq : int; (* sample index, drives the sample source *)
   mutable tov0_epoch : int; (* timer0 overflows before this are cleared *)
   mutable radio_busy_until : int;
-  mutable radio_tx : int list; (* transmitted bytes, newest first *)
+  radio_tx : int Queue.t; (* transmitted bytes awaiting routing, FIFO *)
   mutable radio_rx : (int * int) list; (* (available-at cycle, byte) *)
   mutable radio_tx_count : int;
+  mutable temp : int;
+      (* the AVR TEMP byte: reading the low half of a 16-bit register
+         (TCNT3, ADC) latches its high half here, so a LOW;HIGH read
+         pair composes one atomic value even across a low-byte wrap *)
 }
 
 let create () =
   { adc_enabled = false; adc_start = None; adc_value = 0; adc_seq = 0;
-    tov0_epoch = 0; radio_busy_until = 0; radio_tx = []; radio_rx = [];
-    radio_tx_count = 0 }
+    tov0_epoch = 0; radio_busy_until = 0; radio_tx = Queue.create ();
+    radio_rx = []; radio_tx_count = 0; temp = 0 }
 
 (* Deterministic ADC sample source: a 16-bit Galois LFSR of the sample
    index, masked to 10 bits.  Emulates the "randomly generated incoming
@@ -79,8 +83,11 @@ let next_wake io ~cycles =
   List.fold_left min max_int candidates
 
 let read io ~cycles addr =
-  if addr = adcl then io.adc_value land 0xFF
-  else if addr = adch then (io.adc_value lsr 8) land 0x3
+  if addr = adcl then begin
+    io.temp <- (io.adc_value lsr 8) land 0x3;
+    io.adc_value land 0xFF
+  end
+  else if addr = adch then io.temp
   else if addr = adcsra then begin
     let converting = match adc_done_at io with
       | Some c -> cycles < c
@@ -106,8 +113,12 @@ let read io ~cycles addr =
   else if addr = tccr0 then 0
   else if addr = tifr then
     if cycles / timer0_overflow_period > io.tov0_epoch then 1 else 0
-  else if addr = tcnt3l then (cycles / timer3_prescale) land 0xFF
-  else if addr = tcnt3h then (cycles / timer3_prescale / 256) land 0xFF
+  else if addr = tcnt3l then begin
+    let count = (cycles / timer3_prescale) land 0xFFFF in
+    io.temp <- (count lsr 8) land 0xFF;
+    count land 0xFF
+  end
+  else if addr = tcnt3h then io.temp
   else 0
 
 let write io ~cycles addr v =
@@ -118,7 +129,7 @@ let write io ~cycles addr v =
   end
   else if addr = radio_data then begin
     if cycles >= io.radio_busy_until then begin
-      io.radio_tx <- v :: io.radio_tx;
+      Queue.push v io.radio_tx;
       io.radio_tx_count <- io.radio_tx_count + 1;
       io.radio_busy_until <- cycles + radio_byte_cycles
     end

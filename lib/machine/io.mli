@@ -41,9 +41,14 @@ type t = {
   mutable adc_seq : int;
   mutable tov0_epoch : int;
   mutable radio_busy_until : int;
-  mutable radio_tx : int list;  (** transmitted bytes, newest first *)
+  radio_tx : int Queue.t;
+      (** transmitted bytes awaiting routing, FIFO; the network layer
+          drains it each quantum, so it stays bounded on long runs *)
   mutable radio_rx : (int * int) list;  (** (available-at cycle, byte) *)
-  mutable radio_tx_count : int;
+  mutable radio_tx_count : int;  (** monotone count of bytes ever sent *)
+  mutable temp : int;
+      (** AVR TEMP latch: a low-byte read of TCNT3/ADC latches the high
+          byte here for the subsequent high-byte read *)
 }
 
 val create : unit -> t

@@ -14,7 +14,6 @@ type node = {
   id : int;
   kernel : Kernel.t;
   mutable neighbours : int list;
-  mutable consumed_tx : int;  (** bytes of this node's TX log already routed *)
   mutable finished : bool;
 }
 
@@ -26,22 +25,26 @@ type t = {
   mutable loss_state : int;  (** LFSR for reproducible losses *)
   mutable routed : int;  (** delivered byte count *)
   mutable dropped : int;
+  mutable quanta : int;  (** lockstep rounds executed *)
+  trace : Trace.t;  (** shared by every mote's kernel *)
 }
 
 (** [create ~images ...] boots one kernel per element of [images] (each
-    a list of application images for that mote). *)
+    a list of application images for that mote).  All kernels share one
+    trace sink; their events carry the mote id. *)
 let create ?(quantum = 5_000) ?(latency = 2_000) ?(loss_permille = 0)
-    ?config (images : Asm.Image.t list list) : t =
+    ?config ?trace (images : Asm.Image.t list list) : t =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let nodes =
     Array.of_list
       (List.mapi
          (fun id imgs ->
-           { id; kernel = Kernel.boot ?config imgs; neighbours = [];
-             consumed_tx = 0; finished = false })
+           { id; kernel = Kernel.boot ?config ~trace ~mote:id imgs;
+             neighbours = []; finished = false })
          images)
   in
   { nodes; quantum; latency; loss_permille; loss_state = 0xACE1;
-    routed = 0; dropped = 0 }
+    routed = 0; dropped = 0; quanta = 0; trace }
 
 (** Declare a bidirectional link. *)
 let link t a b =
@@ -64,32 +67,32 @@ let lose t =
   t.loss_state <- lfsr_step t.loss_state;
   t.loss_state mod 1000 < t.loss_permille
 
-(* Route bytes transmitted since the last exchange to all neighbours. *)
+(* Route bytes transmitted since the last exchange to all neighbours.
+   The TX FIFO is drained as it is read, so one exchange costs O(bytes
+   transmitted this quantum) and the queue never grows across quanta. *)
 let exchange t =
   Array.iter
     (fun n ->
       let io = n.kernel.m.io in
-      let total = io.radio_tx_count in
-      if total > n.consumed_tx then begin
-        (* radio_tx is newest-first; take the fresh suffix in send order. *)
-        let fresh = total - n.consumed_tx in
-        let bytes =
-          List.filteri (fun i _ -> i < fresh) io.radio_tx |> List.rev
-        in
-        n.consumed_tx <- total;
+      let at = n.kernel.m.cycles in
+      while not (Queue.is_empty io.radio_tx) do
+        let b = Queue.pop io.radio_tx in
         List.iter
-          (fun b ->
-            List.iter
-              (fun peer ->
-                if lose t then t.dropped <- t.dropped + 1
-                else begin
-                  let m = t.nodes.(peer).kernel.m in
-                  Machine.Io.inject_rx m.io ~cycles:m.cycles ~after:t.latency b;
-                  t.routed <- t.routed + 1
-                end)
-              n.neighbours)
-          bytes
-      end)
+          (fun peer ->
+            if lose t then begin
+              t.dropped <- t.dropped + 1;
+              Trace.emit t.trace ~mote:n.id ~at
+                (Trace.Dropped { src = n.id; dst = peer; byte = b })
+            end
+            else begin
+              let m = t.nodes.(peer).kernel.m in
+              Machine.Io.inject_rx m.io ~cycles:m.cycles ~after:t.latency b;
+              t.routed <- t.routed + 1;
+              Trace.emit t.trace ~mote:n.id ~at
+                (Trace.Routed { src = n.id; dst = peer; byte = b })
+            end)
+          n.neighbours
+      done)
     t.nodes
 
 (** Run the whole network until every node's tasks exit or [max_cycles]
@@ -101,6 +104,7 @@ let run ?(max_cycles = 50_000_000) (t : t) : int =
   in
   while live () > 0 && !horizon < max_cycles do
     horizon := !horizon + t.quantum;
+    t.quanta <- t.quanta + 1;
     Array.iter
       (fun n ->
         if not n.finished then
@@ -118,3 +122,14 @@ let node t i = t.nodes.(i)
 (** Bytes a node has received and not yet consumed (diagnostics). *)
 let pending_rx t i =
   List.length (node t i).kernel.m.io.radio_rx
+
+(** Publish network-level counters plus each mote's kernel counters
+    (under a ["mote<i>."] prefix) into the shared trace registry. *)
+let publish_counters t =
+  Trace.set_counter t.trace "net.routed" t.routed;
+  Trace.set_counter t.trace "net.dropped" t.dropped;
+  Trace.set_counter t.trace "net.quanta" t.quanta;
+  Array.iter
+    (fun n ->
+      Kernel.publish_counters ~prefix:(Printf.sprintf "mote%d." n.id) n.kernel)
+    t.nodes

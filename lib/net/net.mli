@@ -8,7 +8,6 @@ type node = {
   id : int;
   kernel : Kernel.t;
   mutable neighbours : int list;
-  mutable consumed_tx : int;
   mutable finished : bool;
 }
 
@@ -20,15 +19,20 @@ type t = {
   mutable loss_state : int;
   mutable routed : int;  (** delivered bytes *)
   mutable dropped : int;  (** lost bytes *)
+  mutable quanta : int;  (** lockstep rounds executed *)
+  trace : Trace.t;  (** shared by every mote's kernel; routing events
+                        ([Routed]/[Dropped]) land here too *)
 }
 
 (** Boot one mote per element; each element lists the mote's
-    application images. *)
+    application images.  All kernels share one trace sink ([trace] to
+    supply your own); events carry the emitting mote's id. *)
 val create :
   ?quantum:int ->
   ?latency:int ->
   ?loss_permille:int ->
   ?config:Kernel.config ->
+  ?trace:Trace.t ->
   Asm.Image.t list list ->
   t
 
@@ -46,3 +50,7 @@ val node : t -> int -> node
 
 (** Bytes a mote has received but not yet consumed. *)
 val pending_rx : t -> int -> int
+
+(** Publish [net.routed]/[net.dropped]/[net.quanta] plus every mote's
+    kernel counters (prefixed ["mote<i>."]) into the shared registry. *)
+val publish_counters : t -> unit

@@ -1,0 +1,80 @@
+(** Structured observability shared by the machine, kernel, network, and
+    workload layers: a bounded ring-buffer event stream plus a flat
+    counters registry, with JSONL / JSON export and a matching parser.
+
+    One {!t} is one sink.  A standalone kernel owns its own sink; a
+    multi-mote network shares one sink across all its kernels, with
+    every event stamped by the emitting mote's id and cycle count.  The
+    counter-name schema is documented in DESIGN.md. *)
+
+(** What happened.  One sum type spans all layers: machine faults,
+    kernel scheduling and stack motion, and network routing. *)
+type kind =
+  | Cpu_fault of { reason : string }
+      (** the machine halted abnormally (invalid opcode, kernel kill) *)
+  | Switched of { from_task : int option; to_task : int }
+  | Relocated of { needy : int; delta : int; moved : int }
+  | Terminated of { task : int; reason : string }
+  | Spawned of { task : int; stack : int }
+  | Routed of { src : int; dst : int; byte : int }
+  | Dropped of { src : int; dst : int; byte : int }
+
+type event = { mote : int; at : int; kind : kind }
+
+type t
+
+val default_capacity : int
+
+(** [create ?capacity ()] makes an empty sink whose ring holds at most
+    [capacity] events (default {!default_capacity}); older events are
+    overwritten and counted in {!overflow}. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Events currently held (at most the capacity). *)
+val length : t -> int
+
+(** Events lost to ring overwrite since creation/{!clear}. *)
+val overflow : t -> int
+
+(** Reset the sink: drop all recorded events, the overflow count, and
+    every counter. *)
+val clear : t -> unit
+
+val emit : t -> mote:int -> at:int -> kind -> unit
+
+(** Recorded events, oldest first. *)
+val events : t -> event list
+
+(** {2 Counters} *)
+
+(** [incr ?by t name] adds [by] (default 1) to counter [name],
+    creating it at 0 first. *)
+val incr : ?by:int -> t -> string -> unit
+
+val set_counter : t -> string -> int -> unit
+
+(** Current value, 0 if never written. *)
+val counter : t -> string -> int
+
+(** Snapshot of every counter, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** {2 Export} *)
+
+(** One event as a single-line JSON object. *)
+val json_of_event : event -> string
+
+(** Parse one line produced by {!json_of_event}. *)
+val event_of_json : string -> (event, string) result
+
+(** The whole event stream as JSONL, oldest first. *)
+val to_jsonl : t -> string
+
+(** The counter snapshot as a JSON object. *)
+val counters_json : t -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+val equal_event : event -> event -> bool

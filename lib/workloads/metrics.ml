@@ -1,0 +1,57 @@
+(* Machine-readable metrics snapshot for the benchmark harness and CLI.
+
+   Runs one representative multitasking workload (the Figure 7 feeder +
+   search tasks, which exercises traps, context switches, and stack
+   relocation) and one two-mote network exchange (the "am" sender
+   against a compute mote), publishing every layer's counters into a
+   single trace registry.  The resulting JSON blob is the perf baseline
+   future PRs regress against; the counter-name schema is documented in
+   DESIGN.md. *)
+
+let assemble = Asm.Assembler.assemble
+
+(** Run the metrics workloads and return the populated trace sink.
+    [window] bounds each run's cycle budget. *)
+let collect ?(window = 2_000_000) () : Trace.t =
+  let trace = Trace.create () in
+  (* Multitasking + relocation: feeder + searchers under a tight stack
+     budget, exactly the pressure pattern of Figure 7. *)
+  let images =
+    assemble (Programs.Bintree.feeder ~trees:4 ~nodes:16 ())
+    :: List.init 3 (fun i ->
+           assemble
+             (Programs.Bintree.search
+                ~name:(Printf.sprintf "search%d" i)
+                ~nodes:16
+                ~seed:(0x1357 + (i * 0x2467))
+                ()))
+  in
+  let config = { Kernel.default_config with stack_budget = Some 700 } in
+  let k = Kernel.boot ~config ~trace images in
+  (match Kernel.run ~max_cycles:window k with
+   | Machine.Cpu.Out_of_fuel | Machine.Cpu.Halted _ -> ()
+   | Machine.Cpu.Sleeping | Machine.Cpu.Preempted -> ());
+  Kernel.publish_counters k;
+  (* Two-mote network: an active-message sender feeding a compute mote;
+     routed/dropped and per-mote kernel counters land under "net." and
+     "mote<i>.". *)
+  let net =
+    Net.create ~trace
+      [ [ assemble (Programs.Am_bench.program ~packets:4 ()) ];
+        [ assemble (Programs.Lfsr_bench.program ~iters:500 ()) ] ]
+  in
+  Net.chain net;
+  ignore (Net.run ~max_cycles:window net);
+  Net.publish_counters net;
+  trace
+
+(** The counter snapshot as a JSON object. *)
+let json trace = Trace.counters_json trace
+
+(** Write the snapshot to [path] (default ["sensmart_metrics.json"] in
+    the working directory); returns the path written. *)
+let write_file ?(path = "sensmart_metrics.json") trace =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (json trace);
+      Out_channel.output_char oc '\n');
+  path

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: full build, test suite, and the metrics smoke run.
+# The smoke run writes sensmart_metrics.json (the counter snapshot
+# documented in DESIGN.md) so perf regressions are diffable.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- --smoke

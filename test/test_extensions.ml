@@ -153,29 +153,29 @@ let event_log_records_lifecycle () =
   let shallow = sum_prog ~name:"shallow" 20 in
   let config = { Kernel.default_config with stack_budget = Some 360 } in
   let k = Kernel.boot ~config [ assemble (pattern_prog 18); assemble shallow ] in
-  k.log_events <- true;
   (match Kernel.run k with
    | Machine.Cpu.Halted Break_hit -> ()
    | s -> Alcotest.failf "run: %a" Machine.Cpu.pp_stop s);
   let events = Kernel.event_log k in
-  let has p = List.exists p events in
+  let has p = List.exists (fun (e : Trace.event) -> p e.kind) events in
   Alcotest.(check bool) "switch recorded" true
-    (has (function Kernel.Switched _ -> true | _ -> false));
+    (has (function Trace.Switched _ -> true | _ -> false));
   Alcotest.(check bool) "relocation recorded" true
-    (has (function Kernel.Relocated _ -> true | _ -> false));
+    (has (function Trace.Relocated _ -> true | _ -> false));
   Alcotest.(check bool) "exit recorded" true
-    (has (function Kernel.Terminated { reason = "exit"; _ } -> true | _ -> false));
+    (has (function Trace.Terminated { reason = "exit"; _ } -> true | _ -> false));
   (* Timestamps must be non-decreasing. *)
-  let ts =
-    List.map
-      (function
-        | Kernel.Switched { at; _ } | Relocated { at; _ }
-        | Terminated { at; _ } | Spawned { at; _ } -> at)
-      events
-  in
+  let ts = List.map (fun (e : Trace.event) -> e.at) events in
   Alcotest.(check bool) "monotone timestamps" true
     (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length ts - 1) ts)
-       (List.tl ts))
+       (List.tl ts));
+  (* Counters published from this run land in the shared registry. *)
+  Kernel.publish_counters k;
+  Alcotest.(check bool) "relocation counter" true
+    (Trace.counter k.trace "kernel.relocations" > 0);
+  Alcotest.(check bool) "per-task cycles accounted" true
+    (Trace.counter k.trace "task.0.active_cycles" > 0
+     && Trace.counter k.trace "task.1.active_cycles" > 0)
 
 let () =
   Alcotest.run "extensions"

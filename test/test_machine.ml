@@ -174,6 +174,67 @@ let radio_rx () =
   Alcotest.(check bool) "avail" true (st1 land Machine.Io.rx_avail_bit <> 0);
   Alcotest.(check int) "byte" 0x99 (Machine.Io.read io ~cycles:150 Machine.Io.radio_data)
 
+(* Regression: a 16-bit timer read spanning a high-byte increment must
+   not tear.  Reading TCNT3L latches the high byte (AVR TEMP register);
+   TCNT3H returns the latch even if the counter moved in between. *)
+let timer3_read_no_tear () =
+  let io = Machine.Io.create () in
+  let p = Machine.Io.timer3_prescale in
+  let c1 = 0x12FF * p in
+  let lo = Machine.Io.read io ~cycles:c1 Machine.Io.tcnt3l in
+  (* Two ticks later the counter is 0x1301; an unlatched high read would
+     compose the impossible value 0x13FF. *)
+  let hi = Machine.Io.read io ~cycles:(c1 + (2 * p)) Machine.Io.tcnt3h in
+  Alcotest.(check int) "latched 16-bit read" 0x12FF ((hi lsl 8) lor lo)
+
+(* Regression: same latch discipline for the ADC data register pair. *)
+let adc_read_no_tear () =
+  let io = Machine.Io.create () in
+  io.adc_value <- 0x2FF;
+  let lo = Machine.Io.read io ~cycles:0 Machine.Io.adcl in
+  (* A new conversion lands between the two reads. *)
+  io.adc_value <- 0x100;
+  let hi = Machine.Io.read io ~cycles:0 Machine.Io.adch in
+  Alcotest.(check int) "latched sample" 0x2FF ((hi lsl 8) lor lo)
+
+(* Regression: patching only the operand word of a 2-word instruction
+   must invalidate the decode cache entry of its opcode word too. *)
+let load_invalidates_two_word_decode () =
+  let m = Machine.Cpu.create () in
+  (* ldi@0, sts@1-2 (opcode word 1, address operand word 2), break@3. *)
+  Machine.Cpu.load m (Encode.program [ Ldi (16, 0x5A); Sts (0x0200, 16); Break ]);
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "first run wrote 0x0200" 0x5A (Machine.Cpu.read8 m 0x0200);
+  (* Overwrite just the operand word: the STS now targets 0x0300. *)
+  Machine.Cpu.load ~at:2 m [| 0x0300 |];
+  m.pc <- 0;
+  m.halted <- None;
+  ignore (Machine.Cpu.run_native m);
+  Alcotest.(check int) "patched run wrote 0x0300" 0x5A
+    (Machine.Cpu.read8 m 0x0300)
+
+(* Regression: run_native with a stale preemption horizon (below the
+   current clock) must clear it rather than spin forever. *)
+let run_native_clears_stale_horizon () =
+  let m = boot [ Isa.Nop; Break ] in
+  m.preempt_at <- 1;
+  (match Machine.Cpu.run_native ~max_cycles:10_000 m with
+   | Some Break_hit -> ()
+   | other ->
+     Alcotest.failf "unexpected stop: %a"
+       Fmt.(option Machine.Cpu.pp_halt) other);
+  Alcotest.(check bool) "horizon cleared" true (m.preempt_at = max_int)
+
+(* The new access counters tick on data-space and I/O traffic. *)
+let access_counters_tick () =
+  let m = boot [ Isa.Ldi (16, 0x11); Sts (0x0200, 16); Lds (17, 0x0200);
+                 Out (Machine.Io.spl, 16); In (18, Machine.Io.spl) ] in
+  run_insns m 5;
+  Alcotest.(check int) "mem writes" 2 m.mem_writes;
+  Alcotest.(check int) "mem reads" 2 m.mem_reads;
+  Alcotest.(check int) "io writes" 1 m.io_writes;
+  Alcotest.(check int) "io reads" 1 m.io_reads
+
 let sleep_fast_forward () =
   (* SLEEP should skip ahead to the next timer0 overflow and count the
      gap as idle. *)
@@ -297,7 +358,15 @@ let () =
       ("memory",
        [ Alcotest.test_case "data rw" `Quick data_memory;
          Alcotest.test_case "sp via io" `Quick sp_via_io;
-         Alcotest.test_case "lpm" `Quick lpm_reads_flash ]);
+         Alcotest.test_case "lpm" `Quick lpm_reads_flash;
+         Alcotest.test_case "2-word decode invalidation" `Quick
+           load_invalidates_two_word_decode;
+         Alcotest.test_case "access counters" `Quick access_counters_tick ]);
+      ("regressions",
+       [ Alcotest.test_case "timer3 read tearing" `Quick timer3_read_no_tear;
+         Alcotest.test_case "adc read tearing" `Quick adc_read_no_tear;
+         Alcotest.test_case "run_native stale horizon" `Quick
+           run_native_clears_stale_horizon ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_alu_flags; prop_inc_dec_roundtrip ]);

@@ -113,10 +113,63 @@ let multitasking_mote_in_a_network () =
   Alcotest.(check int) "sink complete" bytes
     (Kernel.read_var (Net.node net 0).kernel 0 "got")
 
+(* Regression: exchange must drain the TX FIFO, not rescan an
+   ever-growing transmit history (the old list made exchange O(total²)
+   and re-delivered nothing only thanks to a consumed-counter).  After
+   any run, every mote's queue is empty and the monotone byte counter
+   still reflects the full history. *)
+let exchange_drains_tx_queue () =
+  let packets = 10 in
+  let bytes = 3 * packets in
+  let net = Net.create [ [ sink ~bytes ]; [ leaf ~packets ] ] in
+  Net.chain net;
+  let still = Net.run ~max_cycles:20_000_000 net in
+  Alcotest.(check int) "finished" 0 still;
+  Array.iter
+    (fun (n : Net.node) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mote %d tx queue drained" n.id)
+        true
+        (Queue.is_empty n.kernel.m.io.radio_tx))
+    net.nodes;
+  let src = (Net.node net 1).kernel.m.io in
+  Alcotest.(check int) "tx_count stays monotone" bytes src.radio_tx_count;
+  Alcotest.(check int) "every byte delivered once" bytes net.routed
+
+(* Routing events and counters land in the shared trace sink. *)
+let trace_records_routing () =
+  let packets = 3 in
+  let bytes = 3 * packets in
+  let tr = Trace.create () in
+  let net = Net.create ~trace:tr [ [ sink ~bytes ]; [ leaf ~packets ] ] in
+  Net.chain net;
+  ignore (Net.run ~max_cycles:20_000_000 net);
+  Net.publish_counters net;
+  Alcotest.(check int) "net.routed counter" net.routed
+    (Trace.counter tr "net.routed");
+  let routed_events =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           match e.kind with Trace.Routed _ -> true | _ -> false)
+         (Trace.events tr))
+  in
+  Alcotest.(check int) "one Routed event per byte" net.routed routed_events;
+  let names = List.map fst (Trace.counters tr) in
+  Alcotest.(check bool) "per-mote kernel counters published" true
+    (List.mem "mote0.kernel.traps" names
+     && List.mem "mote1.kernel.traps" names);
+  Alcotest.(check bool) "per-mote cycles accounted" true
+    (Trace.counter tr "mote0.cpu.cycles" > 0
+     && Trace.counter tr "mote1.cpu.cycles" > 0)
+
 let () =
   Alcotest.run "net"
     [ ("collection",
        [ Alcotest.test_case "three-hop collection" `Quick three_hop_collection;
          Alcotest.test_case "lossy link" `Quick lossy_link_drops_bytes;
          Alcotest.test_case "broadcast" `Quick broadcast_reaches_all_neighbours;
-         Alcotest.test_case "multitasking relay" `Quick multitasking_mote_in_a_network ]) ]
+         Alcotest.test_case "multitasking relay" `Quick multitasking_mote_in_a_network ]);
+      ("plumbing",
+       [ Alcotest.test_case "tx queue drained" `Quick exchange_drains_tx_queue;
+         Alcotest.test_case "trace records routing" `Quick trace_records_routing ]) ]

@@ -1,0 +1,124 @@
+(* Tests for the lib/trace observability layer: ring-buffer bounds,
+   counter registry semantics, and JSON/JSONL round-trips. *)
+
+let sample_kinds =
+  [ Trace.Cpu_fault { reason = "invalid opcode 0xffff" };
+    Trace.Switched { from_task = None; to_task = 0 };
+    Trace.Switched { from_task = Some 0; to_task = 1 };
+    Trace.Relocated { needy = 1; delta = 128; moved = 96 };
+    Trace.Terminated { task = 0; reason = "exit" };
+    Trace.Spawned { task = 2; stack = 256 };
+    Trace.Routed { src = 0; dst = 1; byte = 0xA5 };
+    Trace.Dropped { src = 1; dst = 0; byte = 0x5A } ]
+
+let emit_samples tr =
+  List.iteri (fun i k -> Trace.emit tr ~mote:(i mod 3) ~at:(i * 100) k)
+    sample_kinds
+
+(* --- ring buffer ---------------------------------------------------------- *)
+
+let ring_is_bounded () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit tr ~mote:0 ~at:i (Trace.Switched { from_task = None; to_task = i })
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.length tr);
+  Alcotest.(check int) "overflow counted" 6 (Trace.overflow tr);
+  (* Oldest-first, and only the newest [capacity] events survive. *)
+  let ats = List.map (fun (e : Trace.event) -> e.at) (Trace.events tr) in
+  Alcotest.(check (list int)) "newest retained in order" [ 6; 7; 8; 9 ] ats
+
+let clear_resets () =
+  let tr = Trace.create ~capacity:2 () in
+  emit_samples tr;
+  Trace.incr tr "x";
+  Trace.clear tr;
+  Alcotest.(check int) "no events" 0 (Trace.length tr);
+  Alcotest.(check int) "no overflow" 0 (Trace.overflow tr);
+  Alcotest.(check int) "counters cleared" 0 (Trace.counter tr "x")
+
+(* --- counters ------------------------------------------------------------- *)
+
+let counters_registry () =
+  let tr = Trace.create () in
+  Trace.incr tr "a";
+  Trace.incr tr ~by:41 "a";
+  Trace.set_counter tr "b" 7;
+  Alcotest.(check int) "incr accumulates" 42 (Trace.counter tr "a");
+  Alcotest.(check int) "set overwrites" 7 (Trace.counter tr "b");
+  Alcotest.(check int) "missing is zero" 0 (Trace.counter tr "nope");
+  Alcotest.(check (list (pair string int))) "sorted snapshot"
+    [ ("a", 42); ("b", 7) ] (Trace.counters tr)
+
+let counters_json_snapshot () =
+  let tr = Trace.create () in
+  Trace.set_counter tr "kernel.traps" 12;
+  Trace.set_counter tr "net.routed" 3;
+  Alcotest.(check string) "flat json object"
+    "{\n  \"kernel.traps\": 12,\n  \"net.routed\": 3\n}"
+    (Trace.counters_json tr)
+
+(* --- JSON round-trip ------------------------------------------------------ *)
+
+let event_json_round_trip () =
+  let tr = Trace.create () in
+  emit_samples tr;
+  List.iter
+    (fun (e : Trace.event) ->
+      let line = Trace.json_of_event e in
+      match Trace.event_of_json line with
+      | Ok e' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" line)
+          true (Trace.equal_event e e')
+      | Error msg -> Alcotest.failf "parse %s: %s" line msg)
+    (Trace.events tr)
+
+let jsonl_stream () =
+  let tr = Trace.create () in
+  emit_samples tr;
+  let lines =
+    String.split_on_char '\n' (Trace.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (List.length sample_kinds)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match Trace.event_of_json l with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "bad jsonl line %s: %s" l msg)
+    lines
+
+let reject_garbage () =
+  let bad = [ ""; "{}"; "not json"; {|{"mote":0,"at":1,"event":"wat"}|} ] in
+  List.iter
+    (fun s ->
+      match Trace.event_of_json s with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" s
+      | Error _ -> ())
+    bad
+
+let escape_round_trip () =
+  let e : Trace.event =
+    { mote = 0; at = 5;
+      kind = Trace.Cpu_fault { reason = "quote \" slash \\ tab \t nl \n" } }
+  in
+  match Trace.event_of_json (Trace.json_of_event e) with
+  | Ok e' -> Alcotest.(check bool) "escaped strings survive" true
+               (Trace.equal_event e e')
+  | Error msg -> Alcotest.failf "parse escaped: %s" msg
+
+let () =
+  Alcotest.run "trace"
+    [ ("ring",
+       [ Alcotest.test_case "bounded" `Quick ring_is_bounded;
+         Alcotest.test_case "clear" `Quick clear_resets ]);
+      ("counters",
+       [ Alcotest.test_case "registry" `Quick counters_registry;
+         Alcotest.test_case "json snapshot" `Quick counters_json_snapshot ]);
+      ("json",
+       [ Alcotest.test_case "event round-trip" `Quick event_json_round_trip;
+         Alcotest.test_case "jsonl stream" `Quick jsonl_stream;
+         Alcotest.test_case "rejects garbage" `Quick reject_garbage;
+         Alcotest.test_case "string escapes" `Quick escape_round_trip ]) ]
