@@ -153,3 +153,31 @@ let is_data_access = function
 let is_stack_op = function
   | Push _ | Pop _ | Rcall _ | Call _ | Icall | Ret | Reti -> true
   | _ -> false
+
+(** Classification used by the tier-1 block compiler (see DESIGN.md,
+    "Execution tiers").  SenSmart's rewriter already cuts programs into
+    straight-line runs bounded by control transfers; the simulator's
+    block engine compiles exactly those runs. *)
+
+(* Does the instruction end a basic block?  Unconditional control
+   transfers, the kernel-entry gate, and the halt/sleep instructions all
+   hand control back to the run loop.  Conditional branches do NOT end a
+   block: the compiler keeps collecting the fall-through path and turns
+   the branch into an in-body early exit, so branchy loops still compile
+   into long superblocks. *)
+let ends_block = function
+  | Rjmp _ | Rcall _ | Jmp _ | Call _ | Ijmp | Icall | Ret | Reti
+  | Sleep | Break | Syscall _ -> true
+  | _ -> false
+
+(* Conditional branch: a superblock side exit (see {!ends_block}). *)
+let is_cond_branch = function Brbs _ | Brbc _ -> true | _ -> false
+
+(* May the instruction touch the data space (and therefore dispatch to a
+   cycle-sensitive peripheral register)?  Such instructions need the
+   exact cycle count at their execution point, so the block compiler
+   cannot fold their cycle cost into a pre-summed run. *)
+let touches_data_memory = function
+  | Ld _ | Ldd _ | St _ | Std _ | Lds _ | Sts _ | Push _ | Pop _
+  | In _ | Out _ -> true
+  | _ -> false

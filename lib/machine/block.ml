@@ -1,0 +1,366 @@
+(* Tier-1 execution engine: a basic-block compiler for the simulated AVR.
+
+   On first execution of a program point, the run of decoded
+   instructions up to (and including) the next block-ending instruction
+   (unconditional branch/call/ret, SYSCALL, SLEEP, BREAK — see
+   {!Avr.Isa.ends_block}) is translated into a single closure that
+   executes the whole run with none of tier-0's per-instruction
+   overhead: no run-loop stop checks, no decode-cache lookup, no trace
+   option check, no PC update, no [Isa.words]/[Cycles.base] dispatch,
+   and a single batched update of the retired-instruction counter.
+
+   Conditional branches do not end a block.  The compiler keeps
+   collecting the fall-through path and turns each BRBS/BRBC into an
+   in-body side exit, so a branchy inner loop (the common sensor-node
+   code shape) still compiles into one long superblock; a taken branch
+   sets the PC and leaves the block early with exact cycle and
+   instruction accounting.
+
+   The body is a pre-decoded instruction array walked with direct
+   (jump-table) dispatch; per-instruction cycle costs are pre-computed
+   into a parallel array, and runs of instructions that cannot touch the
+   data space (and cannot exit) have their costs pre-summed onto the
+   run's first entry, so a load/store still observes exactly the cycle
+   count tier-0 would have at that point (peripheral registers are
+   clocked off [m.cycles]).
+
+   Closures are cached in [m.blocks] (chunked, copy-on-write — see
+   {!State}), keyed by entry PC, and invalidated by {!State.load} (the
+   only path that writes flash — the kernel's trampoline/kcell patching
+   and run-time task admission go through it).  Each cached block
+   carries [worst], an upper bound on the cycles one execution can
+   consume; {!Cpu.run} only enters a compiled block when the whole run
+   fits under the preemption/fuel horizon and falls back to
+   single-stepping otherwise, which keeps tier-1 stop points
+   bit-identical to tier-0's.
+
+   Correctness contract: for any machine state, executing a compiled
+   block leaves every architectural field (registers, SP, SREG, PC,
+   SRAM, peripherals, cycle/instruction/access counters, halt reason)
+   exactly as executing the same instructions with {!State.step} would.
+   The differential harness in test/test_tiers.ml enforces this on all
+   bundled programs and thousands of randomized ones. *)
+
+open Avr
+open State
+
+(* Instructions per block body, capped so a block's flash span stays
+   within [State.max_block_span] (each instruction is at most 2 words,
+   plus a 2-word terminator). *)
+let max_body = 48
+
+let () = assert ((max_body * 2) + 2 <= max_block_span)
+
+(* Raised (without a backtrace: they are on the hot path) when a taken
+   conditional branch leaves a block early ([Side_exit]), or loops back
+   to the block's own entry with the next iteration's worst case still
+   under the horizon ([Loop_back]: [exec] restarts the walk without
+   returning to the run loop, so a tight inner loop never pays the
+   block-transition overhead on its back edge). *)
+exception Side_exit
+exception Loop_back
+
+(* Walk a block body.  Every non-control arm must mirror the
+   corresponding arm of [State.step] exactly; PC, cycle and
+   retired-count bookkeeping belong to the block closure.  [targets]
+   holds, for each conditional branch, its pre-resolved taken-target
+   word address; a taken branch sets the PC, charges its extra cycle,
+   retires the instructions executed so far and raises {!Side_exit}.
+   The dispatch match lives inside the loop, so a block execution makes
+   no per-instruction calls at all. *)
+let exec_run m (ops : Isa.t array) (costs : int array) (targets : int array)
+    (loopb : bool array) n worst limit =
+  for idx = 0 to n - 1 do
+    m.cycles <- m.cycles + Array.unsafe_get costs idx;
+    match Array.unsafe_get ops idx with
+    | Isa.Brbs (s, _) ->
+      if (m.sreg lsr s) land 1 = 1 then begin
+        m.cycles <- m.cycles + Cycles.branch_taken_extra;
+        m.insns <- m.insns + idx + 1;
+        if Array.unsafe_get loopb idx && m.cycles + worst <= limit then
+          raise_notrace Loop_back
+        else begin
+          m.pc <- Array.unsafe_get targets idx;
+          raise_notrace Side_exit
+        end
+      end
+    | Isa.Brbc (s, _) ->
+      if (m.sreg lsr s) land 1 = 0 then begin
+        m.cycles <- m.cycles + Cycles.branch_taken_extra;
+        m.insns <- m.insns + idx + 1;
+        if Array.unsafe_get loopb idx && m.cycles + worst <= limit then
+          raise_notrace Loop_back
+        else begin
+          m.pc <- Array.unsafe_get targets idx;
+          raise_notrace Side_exit
+        end
+      end
+    | Isa.Nop | Wdr -> ()
+  | Movw (d, r) -> rs m (d) @@ (rg m (r)); rs m (d + 1) @@ (rg m (r + 1))
+  | Add (d, r) -> alu_add m d r ~carry:false
+  | Adc (d, r) -> alu_add m d r ~carry:true
+  | Sub (d, r) ->
+    rs m (d) @@ sub_flags m (rg m (d)) (rg m (r)) ~borrow:false ~keep_z:false
+  | Sbc (d, r) ->
+    rs m (d) @@ sub_flags m (rg m (d)) (rg m (r)) ~borrow:true ~keep_z:true
+  | And (d, r) -> alu_logic m d ((rg m (d)) land (rg m (r)))
+  | Or (d, r) -> alu_logic m d ((rg m (d)) lor (rg m (r)))
+  | Eor (d, r) -> alu_logic m d ((rg m (d)) lxor (rg m (r)))
+  | Mov (d, r) -> rs m (d) @@ (rg m (r))
+  | Cp (d, r) -> ignore (sub_flags m (rg m (d)) (rg m (r)) ~borrow:false ~keep_z:false)
+  | Cpc (d, r) -> ignore (sub_flags m (rg m (d)) (rg m (r)) ~borrow:true ~keep_z:true)
+  | Mul (d, r) -> op_mul m d r
+  | Cpi (d, k) -> ignore (sub_flags m (rg m (d)) k ~borrow:false ~keep_z:false)
+  | Sbci (d, k) -> rs m (d) @@ sub_flags m (rg m (d)) k ~borrow:true ~keep_z:true
+  | Subi (d, k) -> rs m (d) @@ sub_flags m (rg m (d)) k ~borrow:false ~keep_z:false
+  | Ori (d, k) -> alu_logic m d ((rg m (d)) lor k)
+  | Andi (d, k) -> alu_logic m d ((rg m (d)) land k)
+  | Ldi (d, k) -> rs m (d) @@ k
+  | Adiw (d, k) -> alu_adiw m d k ~sub:false
+  | Sbiw (d, k) -> alu_adiw m d k ~sub:true
+  | Com d -> op_com m d
+  | Neg d -> op_neg m d
+  | Swap d ->
+    let v = (rg m (d)) in
+    rs m (d) @@ ((v lsl 4) lor (v lsr 4)) land 0xFF
+  | Inc d -> op_inc m d
+  | Dec d -> op_dec m d
+  | Asr d -> op_asr m d
+  | Lsr d -> op_lsr m d
+  | Ror d -> op_ror m d
+  | Ld (d, p) -> rs m (d) @@ read8 m (ptr_addr m p)
+  | Ldd (d, b, q) ->
+    let base = match b with Ybase -> yreg m | Zbase -> zreg m in
+    rs m (d) @@ read8 m (base + q)
+  | St (p, r) -> write8 m (ptr_addr m p) (rg m (r))
+  | Std (b, q, r) ->
+    let base = match b with Ybase -> yreg m | Zbase -> zreg m in
+    write8 m (base + q) (rg m (r))
+  | Lds (d, a) -> rs m (d) @@ read8 m a
+  | Sts (a, r) -> write8 m a (rg m (r))
+  | Lpm (d, inc) ->
+    let z = zreg m in
+    let w = m.flash.((z lsr 1) land 0xFFFF) in
+    rs m (d) @@ (if z land 1 = 0 then w else w lsr 8) land 0xFF;
+    if inc then set_zreg m ((z + 1) land 0xFFFF)
+  | Push r -> push8 m (rg m (r))
+  | Pop d -> rs m (d) @@ pop8 m
+  | In (d, a) ->
+    m.mem_reads <- m.mem_reads + 1;
+    m.io_reads <- m.io_reads + 1;
+    rs m d @@
+      (if a = Io.spl then m.sp land 0xFF
+       else if a = Io.sph then (m.sp lsr 8) land 0xFF
+       else if a = Io.sreg then m.sreg
+       else Io.read m.io ~cycles:m.cycles a)
+  | Out (a, r) ->
+    m.mem_writes <- m.mem_writes + 1;
+    m.io_writes <- m.io_writes + 1;
+    let v = (rg m (r)) in
+    if a = Io.spl then m.sp <- (m.sp land 0xFF00) lor v
+    else if a = Io.sph then m.sp <- (m.sp land 0x00FF) lor (v lsl 8)
+    else if a = Io.sreg then m.sreg <- v
+    else Io.write m.io ~cycles:m.cycles a v
+  | Bset s -> set_flag m s true
+  | Bclr s -> set_flag m s false
+  | Rjmp _ | Rcall _ | Jmp _ | Call _ | Ijmp | Icall | Ret | Reti
+  | Sleep | Break | Syscall _ ->
+    invalid_arg "Block.exec_run: control instruction"
+  done
+
+(* Compile the block terminator into a closure.  [pc] is the
+   terminator's own word address; targets are resolved at compile time
+   where the ISA allows.  Cycle costs are charged before any memory
+   effect (push/pop of the return address), matching the order of
+   [State.step].  The returned flag is the "benign" bit: [true] for pure
+   control flow, [false] when the terminator can halt, sleep or trap. *)
+let compile_terminator (insn : Isa.t) ~pc : t -> bool =
+  let size = Isa.words insn in
+  let fall = (pc + size) land 0xFFFF in
+  match insn with
+  | Rjmp k ->
+    let tgt = (pc + 1 + k) land 0xFFFF in
+    fun m -> m.cycles <- m.cycles + 2; m.pc <- tgt; true
+  | Rcall k ->
+    let tgt = (pc + 1 + k) land 0xFFFF in
+    fun m ->
+      m.cycles <- m.cycles + 3;
+      push_pc m fall;
+      m.pc <- tgt;
+      true
+  | Jmp a ->
+    let tgt = a land 0xFFFF in
+    fun m -> m.cycles <- m.cycles + 3; m.pc <- tgt; true
+  | Call a ->
+    let tgt = a land 0xFFFF in
+    fun m ->
+      m.cycles <- m.cycles + 4;
+      push_pc m fall;
+      m.pc <- tgt;
+      true
+  | Ijmp -> fun m -> m.cycles <- m.cycles + 2; m.pc <- zreg m; true
+  | Icall ->
+    fun m ->
+      m.cycles <- m.cycles + 3;
+      push_pc m fall;
+      m.pc <- zreg m;
+      true
+  | Ret -> fun m -> m.cycles <- m.cycles + 4; m.pc <- pop_pc m; true
+  | Reti ->
+    fun m ->
+      m.cycles <- m.cycles + 4;
+      m.pc <- pop_pc m;
+      set_flag m fi true;
+      true
+  | Sleep ->
+    fun m ->
+      m.cycles <- m.cycles + 1;
+      m.pc <- fall;
+      m.sleeping <- true;
+      false
+  | Break ->
+    fun m ->
+      m.cycles <- m.cycles + 1;
+      m.pc <- fall;
+      m.halted <- Some Break_hit;
+      false
+  | Syscall k ->
+    fun m ->
+      m.cycles <- m.cycles + 1;
+      m.pc <- fall;
+      (match m.on_syscall with
+       | Some f -> f m k
+       | None ->
+         m.halted <- Some (Fault (Printf.sprintf "syscall %d with no kernel" k)));
+      false
+  | _ -> invalid_arg "Block.compile_terminator: not a block-ending instruction"
+
+(* Pre-sum cycle costs: runs of instructions that cannot touch the data
+   space charge their whole cost on the run's first entry (later entries
+   cost 0), so every memory-touching instruction still executes with
+   [m.cycles] exactly as under tier-0.  A conditional branch closes the
+   run *after* contributing its own (not-taken) cost: cycles for
+   instructions beyond a possible side exit are never pre-charged, so an
+   early exit leaves the clock exact too. *)
+let presum_costs (ops : Isa.t array) : int array =
+  let n = Array.length ops in
+  let costs = Array.make n 0 in
+  let run_head = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Cycles.base ops.(i) in
+    if Isa.touches_data_memory ops.(i) then begin
+      costs.(i) <- c;
+      run_head := i + 1
+    end
+    else begin
+      costs.(!run_head) <- costs.(!run_head) + c;
+      if Isa.is_cond_branch ops.(i) then run_head := i + 1
+    end
+  done;
+  costs
+
+(* Decode and compile the block entered at [entry].  Returns [None] when
+   the entry word itself is undecodable (tier-0 [step] then reports the
+   [Invalid_opcode] halt with the correct PC). *)
+let compile m entry : block option =
+  let fetch a = m.flash.(a land 0xFFFF) in
+  (* [body] accumulates (insn, own word address) in reverse. *)
+  let rec collect pc body n worst insns =
+    if n >= max_body then finish pc body None worst insns
+    else
+      match Decode.at fetch pc with
+      | exception Decode.Unknown_opcode _ ->
+        if pc = entry then None else finish pc body None worst insns
+      | insn, size ->
+        if Isa.ends_block insn then
+          finish pc body (Some insn) (worst + Cycles.base insn) (insns + 1)
+        else
+          let extra =
+            if Isa.is_cond_branch insn then Cycles.branch_taken_extra else 0
+          in
+          collect (pc + size) ((insn, pc) :: body) (n + 1)
+            (worst + Cycles.base insn + extra)
+            (insns + 1)
+  and finish pc body term worst insns =
+    let items = Array.of_list (List.rev body) in
+    let n = Array.length items in
+    let ops = Array.map fst items in
+    let targets =
+      Array.map
+        (fun (insn, p) ->
+          match insn with
+          | Isa.Brbs (_, k) | Isa.Brbc (_, k) ->
+            (p + Isa.words insn + k) land 0xFFFF
+          | _ -> 0)
+        items
+    in
+    let tail =
+      match term with
+      | Some insn -> compile_terminator insn ~pc
+      | None ->
+        (* Block cap reached or an undecodable word ahead: fall through
+           and let the run loop continue (or fault) at [pc]. *)
+        let next = pc land 0xFFFF in
+        fun m -> m.pc <- next; true
+    in
+    let costs = presum_costs ops in
+    let loopb = Array.map (fun t -> t = entry) targets in
+    (* Block chaining: a benign exit (side exit or pure-control-flow
+       terminator) transfers straight to the already-compiled target
+       block when its worst case still fits the horizon, skipping the
+       run-loop round trip entirely.  Every recursive call is a tail
+       call; non-benign exits (SYSCALL/SLEEP/BREAK, which may install
+       hooks, patch flash or halt) always return [false] to the run
+       loop first, so chaining never outruns a stop condition or a
+       block-cache invalidation. *)
+    let rec exec m limit =
+      try
+        exec_run m ops costs targets loopb n worst limit;
+        m.insns <- m.insns + insns;
+        if tail m then chain m limit else false
+      with
+      | Side_exit ->
+        (* A taken branch already set PC, cycles and the retired count;
+           a branch is pure control flow (benign). *)
+        chain m limit
+      | Loop_back ->
+        (* Back to our own entry with the horizon already re-checked. *)
+        exec m limit
+    and chain m limit =
+      let pc = m.pc land 0xFFFF in
+      match
+        Array.unsafe_get (Array.unsafe_get m.blocks (pc lsr 8)) (pc land 0xFF)
+      with
+      | Some b when m.cycles + b.worst <= limit -> b.exec m limit
+      | _ -> true (* not compiled yet or horizon too close: run loop *)
+    in
+    let b = { exec; worst } in
+    let ci = entry lsr 8 in
+    let chunk =
+      let c = m.blocks.(ci) in
+      if c != no_chunk then c
+      else begin
+        let c = Array.make chunk_words None in
+        m.blocks.(ci) <- c;
+        c
+      end
+    in
+    chunk.(entry land 0xFF) <- Some b;
+    Some b
+  in
+  collect entry [] 0 0 0
+
+(** Allocate the (tiny) top-level chunk table on first use; the run loop
+    indexes it directly on its hot path.  Chunks themselves are shared
+    empties until a block is compiled into them. *)
+let ensure m =
+  if Array.length m.blocks = 0 then m.blocks <- Array.make chunk_count no_chunk
+
+(** The compiled block entered at [pc], compiling and caching it on a
+    miss.  [None] when the entry instruction is undecodable. *)
+let lookup m pc =
+  ensure m;
+  let pc = pc land 0xFFFF in
+  match Array.unsafe_get (Array.unsafe_get m.blocks (pc lsr 8)) (pc land 0xFF) with
+  | Some _ as cached -> cached
+  | None -> compile m pc

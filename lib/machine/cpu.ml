@@ -1,406 +1,30 @@
-(* Cycle-counting execution engine for the AVR subset.
+(* Tiered execution front-end for the AVR machine.
 
-   One [t] models one mote MCU: 64 K words of flash, the 0x1100-byte data
-   space of Figure 2, the 32 registers, SP, SREG, and the peripherals of
-   {!Io}.  Kernels (SenSmart, t-kernel, LiteOS) drive the machine through
-   [run], the [on_syscall] hook and the [preempt_at] cycle horizon; the
-   machine itself knows nothing about tasks. *)
+   All machine state and the tier-0 single-step reference interpreter
+   live in {!State} (re-exported here, so callers see one [Cpu] module).
+   This module owns the run loops:
 
-open Avr
+   - [run_interp] steps one instruction at a time through [step].  It is
+     the reference tier and the only tier that fires the per-instruction
+     [m.trace] hook.
+   - [run_blocks] executes tier-1 compiled basic blocks from {!Block}:
+     one cached closure per straight-line run, entered only when the
+     block's worst-case cycle cost fits under both the fuel and the
+     preemption horizon, so every stop point (Preempted / Out_of_fuel /
+     Sleeping / Halted) lands on exactly the cycle tier-0 would stop at.
+     Any miss — uncompilable entry, horizon too close, or a tracing
+     hook installed — falls back to a single tier-0 [step].
 
-type halt =
-  | Break_hit  (** The program executed BREAK: normal termination. *)
-  | Invalid_opcode of int * int  (** (pc, word): undecodable instruction. *)
-  | Fault of string  (** Raised by a kernel (e.g. memory-protection kill). *)
+   [run] picks the tier: tracing (or [~interp:true]) forces tier-0,
+   otherwise tier-1 runs and the per-instruction trace-option check
+   disappears from the hot path entirely (the compiled closures never
+   consult it). *)
 
-type stop =
-  | Halted of halt
-  | Sleeping  (** SLEEP executed; caller decides how to wake. *)
-  | Preempted  (** The [preempt_at] cycle horizon was reached. *)
-  | Out_of_fuel  (** The [max_cycles] bound of [run] was reached. *)
+include State
 
-let pp_halt fmt = function
-  | Break_hit -> Fmt.string fmt "break"
-  | Invalid_opcode (pc, w) -> Fmt.pf fmt "invalid opcode %04x at %04x" w pc
-  | Fault s -> Fmt.pf fmt "fault: %s" s
-
-let pp_stop fmt = function
-  | Halted h -> Fmt.pf fmt "halted (%a)" pp_halt h
-  | Sleeping -> Fmt.string fmt "sleeping"
-  | Preempted -> Fmt.string fmt "preempted"
-  | Out_of_fuel -> Fmt.string fmt "out of fuel"
-
-(* SREG bit numbers. *)
-let fc = 0
-let fz = 1
-let fn = 2
-let fv = 3
-let fs = 4
-let fh = 5
-let fi = 7
-
-type t = {
-  flash : int array;
-  code : Isa.t option array; (* lazy decode cache, indexed by word address *)
-  sram : Bytes.t; (* full data space, I/O shadow included *)
-  io : Io.t;
-  regs : int array; (* r0..r31, each 0..255 *)
-  mutable pc : int; (* word address *)
-  mutable sp : int;
-  mutable sreg : int;
-  mutable cycles : int;
-  mutable idle_cycles : int;
-  mutable insns : int; (* retired instruction count *)
-  mutable mem_reads : int;
-  mutable mem_writes : int;
-  mutable io_reads : int; (* subset of the above landing in the I/O area *)
-  mutable io_writes : int;
-  mutable halted : halt option;
-  mutable sleeping : bool;
-  mutable preempt_at : int;
-  mutable on_syscall : (t -> int -> unit) option;
-  mutable trace : (int -> Isa.t -> unit) option;
-}
-
-let create ?(flash = [||]) () =
-  let fl = Array.make Layout.flash_words 0xFFFF in
-  Array.blit flash 0 fl 0 (Array.length flash);
-  { flash = fl;
-    code = Array.make Layout.flash_words None;
-    sram = Bytes.make Layout.data_size '\000';
-    io = Io.create ();
-    regs = Array.make 32 0;
-    pc = 0;
-    sp = Layout.initial_sp;
-    sreg = 0;
-    cycles = 0;
-    idle_cycles = 0;
-    insns = 0;
-    mem_reads = 0;
-    mem_writes = 0;
-    io_reads = 0;
-    io_writes = 0;
-    halted = None;
-    sleeping = false;
-    preempt_at = max_int;
-    on_syscall = None;
-    trace = None }
-
-(** Copy a program image into flash at word address [at] (default 0) and
-    invalidate the decode cache over the written range.  The word before
-    [at] is invalidated too: a cached 2-word instruction starting at
-    [at - 1] would otherwise keep its stale operand word. *)
-let load ?(at = 0) m (image : int array) =
-  Array.blit image 0 m.flash at (Array.length image);
-  let lo = max 0 (at - 1) in
-  let hi = min (Array.length m.code) (at + Array.length image) in
-  Array.fill m.code lo (hi - lo) None
-
-let active_cycles m = m.cycles - m.idle_cycles
-
-(* Flag plumbing. *)
-let flag m b = (m.sreg lsr b) land 1
-let set_flag m b v =
-  if v then m.sreg <- m.sreg lor (1 lsl b)
-  else m.sreg <- m.sreg land lnot (1 lsl b)
-
-let set_nzs m res =
-  set_flag m fn (res land 0x80 <> 0);
-  set_flag m fz (res = 0);
-  set_flag m fs (flag m fn lxor flag m fv = 1)
-
-(* Data-memory access.  Addresses below the I/O boundary dispatch to the
-   peripherals (with SP/SREG handled here, since they are CPU state). *)
-let spl_addr = Layout.io_data_addr Io.spl
-let sph_addr = Layout.io_data_addr Io.sph
-let sreg_addr = Layout.io_data_addr Io.sreg
-
-let read8 m addr =
-  let addr = addr land 0xFFFF in
-  m.mem_reads <- m.mem_reads + 1;
-  if addr < Layout.io_size then m.io_reads <- m.io_reads + 1;
-  if addr >= Layout.io_size then
-    if addr < Layout.data_size then Char.code (Bytes.unsafe_get m.sram addr)
-    else 0
-  else if addr = spl_addr then m.sp land 0xFF
-  else if addr = sph_addr then (m.sp lsr 8) land 0xFF
-  else if addr = sreg_addr then m.sreg
-  else if addr >= 0x20 && addr < 0x60 then Io.read m.io ~cycles:m.cycles (addr - 0x20)
-  else Char.code (Bytes.unsafe_get m.sram addr)
-
-let write8 m addr v =
-  let addr = addr land 0xFFFF and v = v land 0xFF in
-  m.mem_writes <- m.mem_writes + 1;
-  if addr < Layout.io_size then m.io_writes <- m.io_writes + 1;
-  if addr >= Layout.io_size then begin
-    if addr < Layout.data_size then Bytes.unsafe_set m.sram addr (Char.unsafe_chr v)
-  end
-  else if addr = spl_addr then m.sp <- (m.sp land 0xFF00) lor v
-  else if addr = sph_addr then m.sp <- (m.sp land 0x00FF) lor (v lsl 8)
-  else if addr = sreg_addr then m.sreg <- v
-  else if addr >= 0x20 && addr < 0x60 then Io.write m.io ~cycles:m.cycles (addr - 0x20) v
-  else Bytes.unsafe_set m.sram addr (Char.unsafe_chr v)
-
-(** Little-endian 16-bit data-memory accessors (test/kernel convenience). *)
-let read16 m addr = read8 m addr lor (read8 m (addr + 1) lsl 8)
-let write16 m addr v = write8 m addr (v land 0xFF); write8 m (addr + 1) (v lsr 8)
-
-(* Register-pair accessors. *)
-let pair m r = m.regs.(r) lor (m.regs.(r + 1) lsl 8)
-let set_pair m r v =
-  m.regs.(r) <- v land 0xFF;
-  m.regs.(r + 1) <- (v lsr 8) land 0xFF
-
-let xreg m = pair m 26
-let yreg m = pair m 28
-let zreg m = pair m 30
-let set_xreg m v = set_pair m 26 v
-let set_yreg m v = set_pair m 28 v
-let set_zreg m v = set_pair m 30 v
-
-(* Stack primitives (SP is a physical data address; PUSH stores then
-   decrements, as on real AVR). *)
-let push8 m v =
-  write8 m m.sp v;
-  m.sp <- (m.sp - 1) land 0xFFFF
-
-let pop8 m =
-  m.sp <- (m.sp + 1) land 0xFFFF;
-  read8 m m.sp
-
-let push_pc m ret =
-  push8 m (ret land 0xFF);
-  push8 m ((ret lsr 8) land 0xFF)
-
-let pop_pc m =
-  let hi = pop8 m in
-  let lo = pop8 m in
-  (hi lsl 8) lor lo
-
-(* ALU helpers.  All operate on 8-bit values and set the SREG exactly as
-   the datasheet specifies. *)
-let alu_add m d r ~carry =
-  let a = m.regs.(d) and b = m.regs.(r) in
-  let c = if carry then flag m fc else 0 in
-  let sum = a + b + c in
-  let res = sum land 0xFF in
-  set_flag m fh ((a land 0xF) + (b land 0xF) + c > 0xF);
-  set_flag m fc (sum > 0xFF);
-  set_flag m fv ((a lxor res) land (b lxor res) land 0x80 <> 0);
-  set_nzs m res;
-  m.regs.(d) <- res
-
-let sub_flags m a b ~borrow ~keep_z =
-  let c = if borrow then flag m fc else 0 in
-  let diff = a - b - c in
-  let res = diff land 0xFF in
-  set_flag m fh ((a land 0xF) - (b land 0xF) - c < 0);
-  set_flag m fc (diff < 0);
-  set_flag m fv ((a lxor b) land (a lxor res) land 0x80 <> 0);
-  let z_before = flag m fz = 1 in
-  set_nzs m res;
-  if keep_z then set_flag m fz (res = 0 && z_before);
-  res
-
-let alu_logic m d res =
-  set_flag m fv false;
-  set_nzs m res;
-  m.regs.(d) <- res
-
-let alu_adiw m d k ~sub =
-  let w = pair m d in
-  let res = (if sub then w - k else w + k) land 0xFFFF in
-  let wh7 = w land 0x8000 <> 0 and r15 = res land 0x8000 <> 0 in
-  if sub then begin
-    set_flag m fv (wh7 && not r15);
-    set_flag m fc (r15 && not wh7)
-  end else begin
-    set_flag m fv ((not wh7) && r15);
-    set_flag m fc ((not r15) && wh7)
-  end;
-  set_flag m fn r15;
-  set_flag m fz (res = 0);
-  set_flag m fs (flag m fn lxor flag m fv = 1);
-  set_pair m d res
-
-(* Resolve an indirect pointer access, applying post-increment /
-   pre-decrement side effects; returns the effective address. *)
-let ptr_addr m = function
-  | Isa.X -> xreg m
-  | X_inc -> let a = xreg m in set_xreg m ((a + 1) land 0xFFFF); a
-  | X_dec -> let a = (xreg m - 1) land 0xFFFF in set_xreg m a; a
-  | Y_inc -> let a = yreg m in set_yreg m ((a + 1) land 0xFFFF); a
-  | Y_dec -> let a = (yreg m - 1) land 0xFFFF in set_yreg m a; a
-  | Z_inc -> let a = zreg m in set_zreg m ((a + 1) land 0xFFFF); a
-  | Z_dec -> let a = (zreg m - 1) land 0xFFFF in set_zreg m a; a
-
-let fetch_decode m pc =
-  match m.code.(pc) with
-  | Some i -> i
-  | None ->
-    (match Decode.at (fun a -> m.flash.(a land 0xFFFF)) pc with
-     | i, _ -> m.code.(pc) <- Some i; i
-     | exception Decode.Unknown_opcode w ->
-       m.halted <- Some (Invalid_opcode (pc, w));
-       Isa.Nop)
-
-(** Execute exactly one instruction.  No-op if the machine is halted. *)
-let step m =
-  if m.halted <> None then ()
-  else begin
-    let pc = m.pc in
-    let insn = fetch_decode m pc in
-    if m.halted <> None then ()
-    else begin
-      (match m.trace with Some f -> f pc insn | None -> ());
-      let size = Isa.words insn in
-      m.pc <- (pc + size) land 0xFFFF;
-      m.cycles <- m.cycles + Cycles.base insn;
-      m.insns <- m.insns + 1;
-      let taken k =
-        m.pc <- (pc + size + k) land 0xFFFF;
-        m.cycles <- m.cycles + Cycles.branch_taken_extra
-      in
-      match insn with
-      | Nop | Wdr -> ()
-      | Movw (d, r) -> m.regs.(d) <- m.regs.(r); m.regs.(d + 1) <- m.regs.(r + 1)
-      | Add (d, r) -> alu_add m d r ~carry:false
-      | Adc (d, r) -> alu_add m d r ~carry:true
-      | Sub (d, r) ->
-        m.regs.(d) <- sub_flags m m.regs.(d) m.regs.(r) ~borrow:false ~keep_z:false
-      | Sbc (d, r) ->
-        m.regs.(d) <- sub_flags m m.regs.(d) m.regs.(r) ~borrow:true ~keep_z:true
-      | And (d, r) -> alu_logic m d (m.regs.(d) land m.regs.(r))
-      | Or (d, r) -> alu_logic m d (m.regs.(d) lor m.regs.(r))
-      | Eor (d, r) -> alu_logic m d (m.regs.(d) lxor m.regs.(r))
-      | Mov (d, r) -> m.regs.(d) <- m.regs.(r)
-      | Cp (d, r) -> ignore (sub_flags m m.regs.(d) m.regs.(r) ~borrow:false ~keep_z:false)
-      | Cpc (d, r) -> ignore (sub_flags m m.regs.(d) m.regs.(r) ~borrow:true ~keep_z:true)
-      | Mul (d, r) ->
-        let p = m.regs.(d) * m.regs.(r) in
-        set_pair m 0 p;
-        set_flag m fc (p land 0x8000 <> 0);
-        set_flag m fz (p = 0)
-      | Cpi (d, k) -> ignore (sub_flags m m.regs.(d) k ~borrow:false ~keep_z:false)
-      | Sbci (d, k) -> m.regs.(d) <- sub_flags m m.regs.(d) k ~borrow:true ~keep_z:true
-      | Subi (d, k) -> m.regs.(d) <- sub_flags m m.regs.(d) k ~borrow:false ~keep_z:false
-      | Ori (d, k) -> alu_logic m d (m.regs.(d) lor k)
-      | Andi (d, k) -> alu_logic m d (m.regs.(d) land k)
-      | Ldi (d, k) -> m.regs.(d) <- k
-      | Adiw (d, k) -> alu_adiw m d k ~sub:false
-      | Sbiw (d, k) -> alu_adiw m d k ~sub:true
-      | Com d ->
-        let res = 0xFF - m.regs.(d) in
-        set_flag m fc true;
-        set_flag m fv false;
-        set_nzs m res;
-        m.regs.(d) <- res
-      | Neg d ->
-        let v = m.regs.(d) in
-        let res = (0x100 - v) land 0xFF in
-        set_flag m fh ((res land 0x8) lor (v land 0x8) <> 0);
-        set_flag m fc (res <> 0);
-        set_flag m fv (res = 0x80);
-        set_nzs m res;
-        m.regs.(d) <- res
-      | Swap d ->
-        let v = m.regs.(d) in
-        m.regs.(d) <- ((v lsl 4) lor (v lsr 4)) land 0xFF
-      | Inc d ->
-        let v = m.regs.(d) in
-        let res = (v + 1) land 0xFF in
-        set_flag m fv (v = 0x7F);
-        set_nzs m res;
-        m.regs.(d) <- res
-      | Dec d ->
-        let v = m.regs.(d) in
-        let res = (v - 1) land 0xFF in
-        set_flag m fv (v = 0x80);
-        set_nzs m res;
-        m.regs.(d) <- res
-      | Asr d ->
-        let v = m.regs.(d) in
-        let res = (v lsr 1) lor (v land 0x80) in
-        set_flag m fc (v land 1 = 1);
-        set_flag m fn (res land 0x80 <> 0);
-        set_flag m fv (flag m fn lxor flag m fc = 1);
-        set_flag m fz (res = 0);
-        set_flag m fs (flag m fn lxor flag m fv = 1);
-        m.regs.(d) <- res
-      | Lsr d ->
-        let v = m.regs.(d) in
-        let res = v lsr 1 in
-        set_flag m fc (v land 1 = 1);
-        set_flag m fn false;
-        set_flag m fv (flag m fc = 1);
-        set_flag m fz (res = 0);
-        set_flag m fs (flag m fv = 1);
-        m.regs.(d) <- res
-      | Ror d ->
-        let v = m.regs.(d) in
-        let res = (v lsr 1) lor (flag m fc lsl 7) in
-        set_flag m fc (v land 1 = 1);
-        set_flag m fn (res land 0x80 <> 0);
-        set_flag m fv (flag m fn lxor flag m fc = 1);
-        set_flag m fz (res = 0);
-        set_flag m fs (flag m fn lxor flag m fv = 1);
-        m.regs.(d) <- res
-      | Ld (d, p) -> m.regs.(d) <- read8 m (ptr_addr m p)
-      | Ldd (d, b, q) ->
-        let base = match b with Ybase -> yreg m | Zbase -> zreg m in
-        m.regs.(d) <- read8 m (base + q)
-      | St (p, r) -> write8 m (ptr_addr m p) m.regs.(r)
-      | Std (b, q, r) ->
-        let base = match b with Ybase -> yreg m | Zbase -> zreg m in
-        write8 m (base + q) m.regs.(r)
-      | Lds (d, a) -> m.regs.(d) <- read8 m a
-      | Sts (a, r) -> write8 m a m.regs.(r)
-      | Lpm (d, inc) ->
-        let z = zreg m in
-        let w = m.flash.((z lsr 1) land 0xFFFF) in
-        m.regs.(d) <- (if z land 1 = 0 then w else w lsr 8) land 0xFF;
-        if inc then set_zreg m ((z + 1) land 0xFFFF)
-      | Push r -> push8 m m.regs.(r)
-      | Pop d -> m.regs.(d) <- pop8 m
-      | In (d, a) ->
-        m.mem_reads <- m.mem_reads + 1;
-        m.io_reads <- m.io_reads + 1;
-        m.regs.(d) <-
-          (if a = Io.spl then m.sp land 0xFF
-           else if a = Io.sph then (m.sp lsr 8) land 0xFF
-           else if a = Io.sreg then m.sreg
-           else Io.read m.io ~cycles:m.cycles a)
-      | Out (a, r) ->
-        m.mem_writes <- m.mem_writes + 1;
-        m.io_writes <- m.io_writes + 1;
-        let v = m.regs.(r) in
-        if a = Io.spl then m.sp <- (m.sp land 0xFF00) lor v
-        else if a = Io.sph then m.sp <- (m.sp land 0x00FF) lor (v lsl 8)
-        else if a = Io.sreg then m.sreg <- v
-        else Io.write m.io ~cycles:m.cycles a v
-      | Rjmp k -> m.pc <- (pc + 1 + k) land 0xFFFF
-      | Rcall k -> push_pc m (pc + 1); m.pc <- (pc + 1 + k) land 0xFFFF
-      | Jmp a -> m.pc <- a land 0xFFFF
-      | Call a -> push_pc m (pc + 2); m.pc <- a land 0xFFFF
-      | Ijmp -> m.pc <- zreg m
-      | Icall -> push_pc m (pc + 1); m.pc <- zreg m
-      | Ret -> m.pc <- pop_pc m
-      | Reti -> m.pc <- pop_pc m; set_flag m fi true
-      | Brbs (s, k) -> if flag m s = 1 then taken k
-      | Brbc (s, k) -> if flag m s = 0 then taken k
-      | Bset s -> set_flag m s true
-      | Bclr s -> set_flag m s false
-      | Sleep -> m.sleeping <- true
-      | Break -> m.halted <- Some Break_hit
-      | Syscall k ->
-        (match m.on_syscall with
-         | Some f -> f m k
-         | None -> m.halted <- Some (Fault (Printf.sprintf "syscall %d with no kernel" k)))
-    end
-  end
-
-(** Run until halt, SLEEP, the preemption horizon, or [max_cycles]. *)
-let run ?(max_cycles = max_int) m : stop =
+(** Tier-0: run until halt, SLEEP, the preemption horizon, or
+    [max_cycles], one [step] at a time. *)
+let run_interp ?(max_cycles = max_int) m : stop =
   let rec loop () =
     match m.halted with
     | Some h -> Halted h
@@ -418,23 +42,90 @@ let run ?(max_cycles = max_int) m : stop =
   in
   loop ()
 
-(** Advance the clock to [target] without executing instructions,
-    attributing the skipped span to idle time.  Used to model SLEEP. *)
-let fast_forward m target =
-  if target > m.cycles then begin
-    m.idle_cycles <- m.idle_cycles + (target - m.cycles);
-    m.cycles <- target
-  end
+(** Tier-1: same contract as [run_interp], executing compiled basic
+    blocks whenever the next block provably fits under both cycle
+    limits.  The horizon guard makes the two tiers stop-point
+    equivalent: a block is entered only if even its worst-case cost
+    cannot overrun [max_cycles] or [m.preempt_at], and otherwise the
+    machine single-steps right up to the limit exactly as tier-0
+    would. *)
+let run_blocks ?(max_cycles = max_int) m : stop =
+  Block.ensure m;
+  (* [loop] is entered with the machine known live: not halted, not
+     sleeping, and strictly below both cycle limits.  A compiled block
+     whose terminator is pure control flow returns [true] ("benign"),
+     letting the loop skip the halted/sleeping/trace re-checks; only
+     SYSCALL, BREAK and SLEEP terminators (and tier-0 fallback steps)
+     can change those fields and route through [post_step]. *)
+  let rec loop () =
+    let pc = m.pc land 0xFFFF in
+    match
+      Array.unsafe_get (Array.unsafe_get m.blocks (pc lsr 8)) (pc land 0xFF)
+    with
+    | Some b ->
+      (* The lower of the two horizons; [preempt_at] can only move while
+         we are outside the benign path, so re-deriving it here is safe. *)
+      let limit =
+        if max_cycles < m.preempt_at then max_cycles else m.preempt_at
+      in
+      if m.cycles + b.worst <= limit then begin
+        if b.exec m limit then
+          (* Benign terminator: only the cycle horizons can trip. *)
+          if m.cycles >= max_cycles then Out_of_fuel
+          else if m.cycles >= m.preempt_at then Preempted
+          else loop ()
+        else post_step ()
+      end
+      else begin
+        (* Worst case overruns a horizon: single-step to stay exactly
+           on the stop point tier-0 would produce. *)
+        step m;
+        post_step ()
+      end
+    | None ->
+      (match Block.lookup m pc with
+       | Some _ -> loop ()
+       | None ->
+         (* Undecodable entry: let the reference step report the halt. *)
+         step m;
+         post_step ())
+  and post_step () =
+    match m.halted with
+    | Some h -> Halted h
+    | None ->
+      if m.sleeping then begin
+        m.sleeping <- false;
+        Sleeping
+      end
+      else if m.cycles >= max_cycles then Out_of_fuel
+      else if m.cycles >= m.preempt_at then Preempted
+      else if m.trace <> None then
+        (* A hook appeared mid-run (e.g. installed by a syscall
+           handler): honour it instruction by instruction. *)
+        run_interp ~max_cycles m
+      else loop ()
+  in
+  match m.halted with
+  | Some h -> Halted h
+  | None ->
+    if m.cycles >= max_cycles then Out_of_fuel
+    else if m.cycles >= m.preempt_at then Preempted
+    else loop ()
 
-(** Earliest cycle a peripheral can wake a sleeping CPU. *)
-let next_wake m = Io.next_wake m.io ~cycles:m.cycles
+(** Run until halt, SLEEP, the preemption horizon, or [max_cycles].
+    Dispatches to tier-1 compiled blocks unless a per-instruction trace
+    hook is installed or [~interp:true] forces the tier-0 reference
+    interpreter. *)
+let run ?(interp = false) ?(max_cycles = max_int) m : stop =
+  if interp || m.trace <> None then run_interp ~max_cycles m
+  else run_blocks ~max_cycles m
 
 (** Run a standalone program to completion: SLEEP fast-forwards to the
     next peripheral wake-up, exactly like a bare-metal TinyOS-style app.
     Returns the final halt and the consumed cycle count. *)
-let run_native ?(max_cycles = 1_000_000_000) m : halt option =
+let run_native ?(interp = false) ?(max_cycles = 1_000_000_000) m : halt option =
   let rec loop () =
-    match run ~max_cycles m with
+    match run ~interp ~max_cycles m with
     | Halted h -> Some h
     | Sleeping ->
       let wake = next_wake m in

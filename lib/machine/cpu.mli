@@ -2,25 +2,38 @@
 
     One {!t} models one mote MCU.  Kernels drive the machine through
     {!run}, the [on_syscall] hook and the [preempt_at] cycle horizon;
-    the machine itself knows nothing about tasks. *)
+    the machine itself knows nothing about tasks.
+
+    Execution is tiered (see DESIGN.md, "Execution tiers"): {!step} is
+    the tier-0 reference interpreter, and {!run} by default executes
+    tier-1 compiled basic blocks — closures cached per entry PC that
+    retire a whole straight-line run with one horizon check and no
+    per-instruction dispatch.  Both tiers produce bit-identical
+    architectural state, cycle counts and stop points; installing a
+    [trace] hook (or passing [~interp:true]) forces tier-0, which is
+    the only tier that fires the hook. *)
 
 (** Why execution ended for good. *)
-type halt =
+type halt = State.halt =
   | Break_hit  (** the program executed BREAK: normal termination *)
   | Invalid_opcode of int * int  (** (pc, word): undecodable instruction *)
   | Fault of string  (** raised by a kernel (e.g. memory-protection kill) *)
 
 (** Why {!run} returned. *)
-type stop =
+type stop = State.stop =
   | Halted of halt
   | Sleeping  (** SLEEP executed; the caller decides how to wake *)
   | Preempted  (** the [preempt_at] cycle horizon was reached *)
   | Out_of_fuel  (** the [max_cycles] bound of {!run} was reached *)
 
+exception
+  Flash_overflow of { at : int; words : int }
+    (** {!load} was asked to place an image outside [0, flash_words). *)
+
 val pp_halt : Format.formatter -> halt -> unit
 val pp_stop : Format.formatter -> stop -> unit
 
-type t = {
+type t = State.t = {
   flash : int array;  (** 64 K words of program memory *)
   code : Avr.Isa.t option array;  (** lazy decode cache *)
   sram : Bytes.t;  (** the full data space of {!Layout} *)
@@ -41,13 +54,31 @@ type t = {
   mutable preempt_at : int;  (** cycle horizon after which {!run} returns *)
   mutable on_syscall : (t -> int -> unit) option;
   mutable trace : (int -> Avr.Isa.t -> unit) option;
+      (** Per-instruction hook, tier-0 only.  When [None] (the default)
+          the hook costs nothing: {!run} executes compiled blocks that
+          never consult it.  When set, {!run} falls back to tier-0
+          stepping so every retired instruction is reported. *)
+  mutable blocks : block option array array;
+      (** tier-1 compiled-block cache, keyed by entry word address and
+          chunked [pc lsr 8][pc land 0xFF] with copy-on-write chunks;
+          empty until the block engine first runs on this machine *)
 }
+
+(** One tier-1 compiled basic block: [exec m limit] retires the whole
+    run ([limit] is the lower of the fuel/preemption horizons) and
+    returns [true] when it ended in pure control flow; [worst] bounds
+    the cycles a single execution can consume. *)
+and block = State.block = { exec : t -> int -> bool; worst : int }
 
 val create : ?flash:int array -> unit -> t
 
 (** [load ?at m image] copies [image] into flash at word address [at]
-    (default 0) and invalidates the decode cache over that range,
-    including a cached 2-word instruction starting at [at - 1]. *)
+    (default 0) and invalidates the decode cache and the compiled-block
+    cache over every entry that can overlap the written range (including
+    a cached 2-word instruction starting at [at - 1]).  This is the only
+    flash-write path, so self-modifying code — the kernel's trampoline
+    patching — always observes its new code in both execution tiers.
+    Raises {!Flash_overflow} when the image does not fit in flash. *)
 val load : ?at:int -> t -> int array -> unit
 
 (** Cycles spent executing (total minus idle). *)
@@ -78,8 +109,11 @@ val set_zreg : t -> int -> unit
 (** Execute exactly one instruction; no-op when halted. *)
 val step : t -> unit
 
-(** Run until halt, SLEEP, the preemption horizon, or [max_cycles]. *)
-val run : ?max_cycles:int -> t -> stop
+(** Run until halt, SLEEP, the preemption horizon, or [max_cycles].
+    [~interp:true] forces the tier-0 reference interpreter; the default
+    executes tier-1 compiled blocks (unless a [trace] hook is set),
+    with identical observable behaviour. *)
+val run : ?interp:bool -> ?max_cycles:int -> t -> stop
 
 (** Advance the clock without executing, attributing the span to idle
     time; models a sleeping CPU. *)
@@ -90,5 +124,5 @@ val next_wake : t -> int
 
 (** Run a standalone program to completion, fast-forwarding through
     SLEEP — bare-metal semantics with no OS.  [None] when the cycle
-    budget ran out. *)
-val run_native : ?max_cycles:int -> t -> halt option
+    budget ran out.  [~interp] as in {!run}. *)
+val run_native : ?interp:bool -> ?max_cycles:int -> t -> halt option

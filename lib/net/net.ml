@@ -8,11 +8,22 @@
    LFSR keyed by link and sequence number, so runs are reproducible).
    Collisions are not modeled; the byte channel of {!Machine.Io} already
    serializes each sender.  Nodes advance in quanta of a few thousand
-   cycles, which bounds clock skew between motes to one quantum. *)
+   cycles, which bounds clock skew between motes to one quantum.
+
+   Parallelism: motes only interact through the coordinator's [exchange]
+   between quanta, so the per-quantum stepping is embarrassingly
+   parallel.  [run ~domains:n] partitions the motes over [n] domains
+   (mote [i] belongs to domain [i mod n]) backed by a hand-rolled
+   fork-join pool; byte exchange, the loss LFSR, and trace merging stay
+   on the coordinator, and each mote records events into a private sink
+   that is drained into the master trace in node-id order once per
+   quantum.  The merge path is identical for [domains = 1], so runs are
+   bit-for-bit reproducible at any domain count. *)
 
 type node = {
   id : int;
   kernel : Kernel.t;
+  sink : Trace.t;  (** private event sink, merged per quantum *)
   mutable neighbours : int list;
   mutable finished : bool;
 }
@@ -26,12 +37,20 @@ type t = {
   mutable routed : int;  (** delivered byte count *)
   mutable dropped : int;
   mutable quanta : int;  (** lockstep rounds executed *)
-  trace : Trace.t;  (** shared by every mote's kernel *)
+  trace : Trace.t;  (** master sink: merged mote events + routing *)
 }
 
+(* Merge every mote's private sink into the master trace, in node-id
+   order.  Called once per lockstep quantum (and once after boot), on
+   the coordinator only — this fixed order is what makes the event
+   stream independent of how motes are scheduled across domains. *)
+let drain_sinks t =
+  Array.iter (fun n -> Trace.transfer ~into:t.trace n.sink) t.nodes
+
 (** [create ~images ...] boots one kernel per element of [images] (each
-    a list of application images for that mote).  All kernels share one
-    trace sink; their events carry the mote id. *)
+    a list of application images for that mote).  Every kernel records
+    into a private per-mote sink; sinks are merged into the shared
+    [trace] in node-id order, and events carry the mote id. *)
 let create ?(quantum = 5_000) ?(latency = 2_000) ?(loss_permille = 0)
     ?config ?trace (images : Asm.Image.t list list) : t =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
@@ -39,12 +58,17 @@ let create ?(quantum = 5_000) ?(latency = 2_000) ?(loss_permille = 0)
     Array.of_list
       (List.mapi
          (fun id imgs ->
-           { id; kernel = Kernel.boot ?config ~trace ~mote:id imgs;
-             neighbours = []; finished = false })
+           let sink = Trace.create () in
+           { id; kernel = Kernel.boot ?config ~trace:sink ~mote:id imgs;
+             sink; neighbours = []; finished = false })
          images)
   in
-  { nodes; quantum; latency; loss_permille; loss_state = 0xACE1;
-    routed = 0; dropped = 0; quanta = 0; trace }
+  let t =
+    { nodes; quantum; latency; loss_permille; loss_state = 0xACE1;
+      routed = 0; dropped = 0; quanta = 0; trace }
+  in
+  drain_sinks t;  (* boot-time events (task spawns) *)
+  t
 
 (** Declare a bidirectional link. *)
 let link t a b =
@@ -69,7 +93,9 @@ let lose t =
 
 (* Route bytes transmitted since the last exchange to all neighbours.
    The TX FIFO is drained as it is read, so one exchange costs O(bytes
-   transmitted this quantum) and the queue never grows across quanta. *)
+   transmitted this quantum) and the queue never grows across quanta.
+   Coordinator-only: this is the single point where motes interact, and
+   it keeps the loss LFSR sequential regardless of the domain count. *)
 let exchange t =
   Array.iter
     (fun n ->
@@ -95,26 +121,124 @@ let exchange t =
       done)
     t.nodes
 
+(* Advance one mote to the lockstep horizon.  Safe to call from a worker
+   domain: a kernel only touches its own machine, its own sink, and the
+   node's [finished] flag, and the coordinator reads them back strictly
+   after the fork-join barrier. *)
+let step_node horizon n =
+  if not n.finished then
+    match Kernel.run ~max_cycles:horizon n.kernel with
+    | Machine.Cpu.Out_of_fuel -> ()
+    | Machine.Cpu.Halted _ -> n.finished <- true
+    | Machine.Cpu.Sleeping | Machine.Cpu.Preempted -> ()
+
+(* Hand-rolled fork-join pool over raw [Domain.spawn] (the container has
+   no domainslib).  [round p job] runs [job w] for every worker index
+   [w] in [0 .. n]; index 0 executes on the calling (coordinator) domain
+   and [1 .. n] on the spawned domains.  The mutex acquire/release pairs
+   around each round give the coordinator a happens-before edge over
+   every worker's writes, so plain mutable fields (machine state, the
+   [finished] flags, the per-mote sinks) need no atomics. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    ready : Condition.t;
+    finished : Condition.t;
+    mutable epoch : int;  (* bumped to release workers into a round *)
+    mutable remaining : int;  (* workers still inside the current round *)
+    mutable job : int -> unit;
+    mutable stop : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let worker p w =
+    let last = ref 0 in
+    let rec loop () =
+      Mutex.lock p.mutex;
+      while (not p.stop) && p.epoch = !last do
+        Condition.wait p.ready p.mutex
+      done;
+      if p.stop then Mutex.unlock p.mutex
+      else begin
+        last := p.epoch;
+        let job = p.job in
+        Mutex.unlock p.mutex;
+        job w;
+        Mutex.lock p.mutex;
+        p.remaining <- p.remaining - 1;
+        if p.remaining = 0 then Condition.signal p.finished;
+        Mutex.unlock p.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create n =
+    let p =
+      { mutex = Mutex.create (); ready = Condition.create ();
+        finished = Condition.create (); epoch = 0; remaining = 0;
+        job = ignore; stop = false; workers = [||] }
+    in
+    p.workers <-
+      Array.init n (fun w -> Domain.spawn (fun () -> worker p (w + 1)));
+    p
+
+  let round p job =
+    Mutex.lock p.mutex;
+    p.job <- job;
+    p.remaining <- Array.length p.workers;
+    p.epoch <- p.epoch + 1;
+    Condition.broadcast p.ready;
+    Mutex.unlock p.mutex;
+    job 0;
+    Mutex.lock p.mutex;
+    while p.remaining > 0 do
+      Condition.wait p.finished p.mutex
+    done;
+    Mutex.unlock p.mutex
+
+  let shutdown p =
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    Condition.broadcast p.ready;
+    Mutex.unlock p.mutex;
+    Array.iter Domain.join p.workers
+end
+
 (** Run the whole network until every node's tasks exit or [max_cycles]
-    elapse on each mote.  Returns the number of nodes still running. *)
-let run ?(max_cycles = 50_000_000) (t : t) : int =
+    elapse on each mote.  Returns the number of nodes still running.
+    [domains] (default 1) steps disjoint mote partitions on that many
+    OCaml domains; results are byte-identical at any count. *)
+let run ?(max_cycles = 50_000_000) ?(domains = 1) (t : t) : int =
+  let d = max 1 (min domains (Array.length t.nodes)) in
   let horizon = ref 0 in
   let live () =
     Array.fold_left (fun a n -> if n.finished then a else a + 1) 0 t.nodes
   in
-  while live () > 0 && !horizon < max_cycles do
+  let quantum step_all =
     horizon := !horizon + t.quantum;
     t.quanta <- t.quanta + 1;
-    Array.iter
-      (fun n ->
-        if not n.finished then
-          match Kernel.run ~max_cycles:!horizon n.kernel with
-          | Machine.Cpu.Out_of_fuel -> ()
-          | Machine.Cpu.Halted _ -> n.finished <- true
-          | Machine.Cpu.Sleeping | Machine.Cpu.Preempted -> ())
-      t.nodes;
+    step_all !horizon;
+    drain_sinks t;
     exchange t
-  done;
+  in
+  if d = 1 then
+    while live () > 0 && !horizon < max_cycles do
+      quantum (fun h -> Array.iter (step_node h) t.nodes)
+    done
+  else begin
+    let pool = Pool.create (d - 1) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        while live () > 0 && !horizon < max_cycles do
+          quantum (fun h ->
+              Pool.round pool (fun w ->
+                  Array.iter
+                    (fun n -> if n.id mod d = w then step_node h n)
+                    t.nodes))
+        done)
+  end;
   live ()
 
 let node t i = t.nodes.(i)
@@ -124,12 +248,19 @@ let pending_rx t i =
   List.length (node t i).kernel.m.io.radio_rx
 
 (** Publish network-level counters plus each mote's kernel counters
-    (under a ["mote<i>."] prefix) into the shared trace registry. *)
+    (under a ["mote<i>."] prefix) into the master trace registry.  Each
+    kernel publishes into its own sink; the prefixed names are then
+    copied across, so the master registry is complete and the copy is
+    idempotent. *)
 let publish_counters t =
   Trace.set_counter t.trace "net.routed" t.routed;
   Trace.set_counter t.trace "net.dropped" t.dropped;
   Trace.set_counter t.trace "net.quanta" t.quanta;
+  drain_sinks t;
   Array.iter
     (fun n ->
-      Kernel.publish_counters ~prefix:(Printf.sprintf "mote%d." n.id) n.kernel)
+      Kernel.publish_counters ~prefix:(Printf.sprintf "mote%d." n.id) n.kernel;
+      List.iter
+        (fun (name, v) -> Trace.set_counter t.trace name v)
+        (Trace.counters n.sink))
     t.nodes

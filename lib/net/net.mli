@@ -2,11 +2,20 @@
     running its own SenSmart kernel — advance in lockstep quanta, and
     radio bytes are carried between linked neighbours with a per-byte
     latency and reproducible (LFSR-driven) loss.  Broadcast semantics;
-    collisions are not modeled. *)
+    collisions are not modeled.
+
+    Stepping can be parallelized over OCaml domains ({!run}'s
+    [?domains]); motes only interact through the coordinator's byte
+    exchange between quanta, and per-mote trace sinks are merged in
+    node-id order, so a run is byte-for-byte identical at any domain
+    count (see DESIGN.md, "Execution tiers"). *)
 
 type node = {
   id : int;
   kernel : Kernel.t;
+  sink : Trace.t;
+      (** this mote's private event sink; drained into the network's
+          master trace in node-id order once per quantum *)
   mutable neighbours : int list;
   mutable finished : bool;
 }
@@ -20,13 +29,15 @@ type t = {
   mutable routed : int;  (** delivered bytes *)
   mutable dropped : int;  (** lost bytes *)
   mutable quanta : int;  (** lockstep rounds executed *)
-  trace : Trace.t;  (** shared by every mote's kernel; routing events
-                        ([Routed]/[Dropped]) land here too *)
+  trace : Trace.t;
+      (** master sink: every mote's merged events plus the routing
+          events ([Routed]/[Dropped]) *)
 }
 
 (** Boot one mote per element; each element lists the mote's
-    application images.  All kernels share one trace sink ([trace] to
-    supply your own); events carry the emitting mote's id. *)
+    application images.  Every kernel records into a private per-mote
+    sink, merged into the master [trace] ([~trace] to supply your own)
+    in node-id order; events carry the emitting mote's id. *)
 val create :
   ?quantum:int ->
   ?latency:int ->
@@ -43,8 +54,12 @@ val link : t -> int -> int -> unit
 val chain : t -> unit
 
 (** Run until every mote's tasks exit or [max_cycles] elapse per mote;
-    returns how many motes are still running. *)
-val run : ?max_cycles:int -> t -> int
+    returns how many motes are still running.  [domains] (default 1)
+    steps disjoint mote partitions (mote [i] on domain [i mod domains])
+    in parallel each quantum; exchange, loss, and trace merging stay on
+    the calling domain, so counters, events, and machine state are
+    byte-identical at any domain count. *)
+val run : ?max_cycles:int -> ?domains:int -> t -> int
 
 val node : t -> int -> node
 
@@ -52,5 +67,5 @@ val node : t -> int -> node
 val pending_rx : t -> int -> int
 
 (** Publish [net.routed]/[net.dropped]/[net.quanta] plus every mote's
-    kernel counters (prefixed ["mote<i>."]) into the shared registry. *)
+    kernel counters (prefixed ["mote<i>."]) into the master registry. *)
 val publish_counters : t -> unit

@@ -65,6 +65,22 @@ let events t =
   let start = (t.head - t.len + t.capacity * 2) mod t.capacity in
   List.init t.len (fun i -> t.buf.((start + i) mod t.capacity))
 
+(** Move every event of [src] into [into] (oldest first, through the
+    normal ring-buffer path, so [into]'s capacity and overflow rules
+    apply), add [src]'s overflow to [into]'s, and leave [src]'s event
+    stream empty.  Counters are untouched on both sides.  This is the
+    deterministic merge step of the multi-mote network: each mote
+    records into a private sink and the coordinator transfers the sinks
+    in node-id order. *)
+let transfer ~into src =
+  if src != into then begin
+    List.iter (fun e -> emit into ~mote:e.mote ~at:e.at e.kind) (events src);
+    into.overflow <- into.overflow + src.overflow;
+    src.head <- 0;
+    src.len <- 0;
+    src.overflow <- 0
+  end
+
 (* --- counters ----------------------------------------------------------- *)
 
 let incr ?(by = 1) t name =

@@ -5,7 +5,14 @@
     One {!t} is one sink.  A standalone kernel owns its own sink; a
     multi-mote network shares one sink across all its kernels, with
     every event stamped by the emitting mote's id and cycle count.  The
-    counter-name schema is documented in DESIGN.md. *)
+    counter-name schema is documented in DESIGN.md.
+
+    This module is event-level observability and costs nothing per
+    executed instruction.  Per-instruction tracing is a different
+    mechanism — the machine's [trace] hook ({!Machine.Cpu.t}) — and
+    installing that hook forces the tier-0 interpreter; leave it unset
+    and the tier-1 block engine never consults it (see DESIGN.md,
+    "Execution tiers"). *)
 
 (** What happened.  One sum type spans all layers: machine faults,
     kernel scheduling and stack motion, and network routing. *)
@@ -46,6 +53,14 @@ val emit : t -> mote:int -> at:int -> kind -> unit
 
 (** Recorded events, oldest first. *)
 val events : t -> event list
+
+(** [transfer ~into src] moves every event of [src] into [into] (oldest
+    first, through the normal ring-buffer path), folds [src]'s overflow
+    count into [into]'s, and empties [src]'s event stream.  Counters are
+    untouched on both sides.  The multi-mote network uses this to merge
+    per-mote sinks into its master sink deterministically: sinks are
+    transferred in node-id order once per lockstep quantum. *)
+val transfer : into:t -> t -> unit
 
 (** {2 Counters} *)
 

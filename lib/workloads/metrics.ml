@@ -10,9 +10,38 @@
 
 let assemble = Asm.Assembler.assemble
 
+(* Host-side engine throughput: a sustained bare-metal workload (long
+   enough that block compilation is amortized) timed under each
+   execution tier, best of three so scheduler noise biases low.  The
+   numbers are machine-dependent by nature — they are the counters
+   scripts/bench_diff.sh gates on, not part of the deterministic
+   simulated schema. *)
+let host_throughput trace =
+  let img = assemble (Programs.Lfsr_bench.program ~iters:60_000 ()) in
+  let best_rate ~interp =
+    let best = ref 0.0 in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = Native.run ~interp img in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > 0.0 then best := Float.max !best (float_of_int r.insns /. dt)
+    done;
+    int_of_float !best
+  in
+  let tier1 = best_rate ~interp:false in
+  let tier0 = best_rate ~interp:true in
+  Trace.set_counter trace "host.tier1_insns_per_sec" tier1;
+  Trace.set_counter trace "host.tier0_insns_per_sec" tier0;
+  if tier0 > 0 then
+    Trace.set_counter trace "host.tier1_speedup_x100" (tier1 * 100 / tier0)
+
 (** Run the metrics workloads and return the populated trace sink.
-    [window] bounds each run's cycle budget. *)
+    [window] bounds each run's cycle budget.  Alongside the simulated
+    counters (deterministic, machine-independent) the snapshot carries
+    ["host.*"] counters: wall-clock of this collection and sustained
+    engine throughput per tier. *)
 let collect ?(window = 2_000_000) () : Trace.t =
+  let started = Unix.gettimeofday () in
   let trace = Trace.create () in
   (* Multitasking + relocation: feeder + searchers under a tight stack
      budget, exactly the pressure pattern of Figure 7. *)
@@ -43,6 +72,9 @@ let collect ?(window = 2_000_000) () : Trace.t =
   Net.chain net;
   ignore (Net.run ~max_cycles:window net);
   Net.publish_counters net;
+  host_throughput trace;
+  Trace.set_counter trace "host.wall_ms"
+    (int_of_float ((Unix.gettimeofday () -. started) *. 1000.0));
   trace
 
 (** The counter snapshot as a JSON object. *)

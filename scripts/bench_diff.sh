@@ -1,0 +1,61 @@
+#!/bin/sh
+# Diff two metrics snapshots (the flat JSON counter objects written by
+# `bench/main.exe -- --smoke`, schema in DESIGN.md).
+#
+# Usage: scripts/bench_diff.sh BASELINE.json NEW.json
+#
+# Counter classes:
+#   host.*_per_sec   performance gate: a drop of more than
+#                    $BENCH_DIFF_THRESHOLD percent (default 10) against
+#                    the baseline is a REGRESSION -> exit 1.
+#   host.*           everything else host-side (wall clock) is
+#                    informational; it depends on machine load.
+#   all others       simulated counters, deterministic by construction:
+#                    any difference is printed as a WARNING (it means
+#                    the reproduction's behaviour changed, which is
+#                    fine only when the workloads themselves changed —
+#                    refresh the committed baseline in that case).
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BASELINE.json NEW.json" >&2
+    exit 2
+fi
+
+awk -v thresh="${BENCH_DIFF_THRESHOLD:-10}" '
+FNR == 1 { file++ }
+/":/ {
+    line = $0
+    gsub(/[",]/, "", line)
+    if (split(line, kv, ":") == 2) {
+        key = kv[1]; val = kv[2]
+        gsub(/[ \t]/, "", key); gsub(/[ \t]/, "", val)
+        if (val ~ /^-?[0-9]+$/) {
+            if (file == 1) base[key] = val; else cur[key] = val
+        }
+    }
+}
+END {
+    status = 0
+    for (k in base) {
+        if (!(k in cur)) { printf "MISSING     %s (baseline %s)\n", k, base[k]; next_missing++; continue }
+        b = base[k] + 0; c = cur[k] + 0
+        if (k ~ /^host\./) {
+            if (k ~ /_per_sec$/ && b > 0) {
+                delta = (c - b) * 100.0 / b
+                if (delta < -thresh) {
+                    printf "REGRESSION  %s: %d -> %d (%.1f%%, threshold -%s%%)\n", k, b, c, delta, thresh
+                    status = 1
+                } else {
+                    printf "ok          %s: %d -> %d (%+.1f%%)\n", k, b, c, delta
+                }
+            } else {
+                printf "info        %s: %d -> %d\n", k, b, c
+            }
+        } else if (b != c) {
+            printf "WARNING     %s: %d -> %d (simulated counter drifted)\n", k, b, c
+        }
+    }
+    for (k in cur) if (!(k in base)) printf "NEW         %s = %s\n", k, cur[k]
+    exit status
+}' "$1" "$2"

@@ -1,10 +1,27 @@
 #!/bin/sh
-# CI gate: full build, test suite, and the metrics smoke run.
-# The smoke run writes sensmart_metrics.json (the counter snapshot
-# documented in DESIGN.md) so perf regressions are diffable.
+# CI gate: full build, test suite, execution-tier equivalence, domain
+# determinism, and the metrics smoke run diffed against the committed
+# baseline.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
-dune exec bench/main.exe -- --smoke
+
+# Execution-tier differential harness: every bundled program plus
+# randomized streams must be bit-identical between the tier-1 block
+# engine and the tier-0 interpreter (also part of runtest; run
+# explicitly so a failure is unmistakable in CI logs).
+dune exec test/test_tiers.exe
+
+# Domain-parallel determinism: Net.run at 1 vs N domains must produce
+# byte-identical counters, events, and machine state.
+dune exec test/test_net.exe -- test domains
+
+# Metrics smoke run under the release profile (the dev profile does not
+# inline, so host throughput numbers are only meaningful in release),
+# then gate host.*_per_sec counters against the committed baseline
+# (>10% drop fails; see scripts/bench_diff.sh).
+dune build --profile release bench/main.exe
+dune exec --profile release bench/main.exe -- --smoke
+scripts/bench_diff.sh bench/baseline_metrics.json sensmart_metrics.json

@@ -333,6 +333,63 @@ let prop_inc_dec_roundtrip =
       run_insns m 2;
       m.regs.(16) = a && (Machine.Cpu.flag m 0 = 1) = carry)
 
+
+(* --- Tier-1 block-cache / decode-cache invalidation and load bounds --- *)
+
+let flash_overflow_rejected () =
+  let m = Machine.Cpu.create () in
+  let img = Array.make 8 0 in
+  (match Machine.Cpu.load ~at:(Machine.Layout.flash_words - 4) m img with
+   | () -> Alcotest.fail "oversized load accepted"
+   | exception Machine.Cpu.Flash_overflow { at; words } ->
+     Alcotest.(check int) "at" (Machine.Layout.flash_words - 4) at;
+     Alcotest.(check int) "words" 8 words);
+  match Machine.Cpu.load ~at:(-1) m img with
+  | () -> Alcotest.fail "negative load address accepted"
+  | exception Machine.Cpu.Flash_overflow _ -> ()
+
+(* Reloading flash over already-executed (and therefore block-compiled)
+   code must be observed by the next run — in both tiers. *)
+let reload_invalidates_blocks interp () =
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m
+    (Encode.program [ Ldi (16, 5); Isa.Dec 16; Brbc (1, -2); Break ]);
+  (match Machine.Cpu.run ~interp m with
+   | Halted Break_hit -> ()
+   | s -> Alcotest.failf "first run: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "loop ran" 0 m.regs.(16);
+  (* Patch the whole program in place; stale blocks would still run the
+     old loop (or fall through at the old BREAK). *)
+  Machine.Cpu.load m (Encode.program [ Ldi (16, 42); Break ]);
+  m.halted <- None;
+  m.pc <- 0;
+  (match Machine.Cpu.run ~interp m with
+   | Halted Break_hit -> ()
+   | s -> Alcotest.failf "second run: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "patched code ran" 42 m.regs.(16)
+
+(* The kernel's trampoline patching in miniature: a syscall handler
+   rewrites a function body that was already executed and compiled, on
+   the very machine it is running on.  The second call must execute the
+   new code — in both tiers, with identical final state. *)
+let syscall_patches_code interp () =
+  let f_addr = 6 in
+  (* start: rcall f; syscall 0; rcall f; break;  f: ldi r17 1; ret *)
+  let code =
+    [ Isa.Rcall 5; Isa.Syscall 0; Isa.Rcall 3; Isa.Nop; Isa.Nop; Break;
+      (* f at word 6: *) Ldi (17, 1); Isa.Ret ]
+  in
+  let m = Machine.Cpu.create () in
+  Machine.Cpu.load m (Encode.program code);
+  m.on_syscall <-
+    Some
+      (fun m _ ->
+        Machine.Cpu.load ~at:f_addr m (Encode.program [ Ldi (17, 99); Isa.Ret ]));
+  (match Machine.Cpu.run ~interp m with
+   | Halted Break_hit -> ()
+   | s -> Alcotest.failf "run: %a" Machine.Cpu.pp_stop s);
+  Alcotest.(check int) "second call saw patched body" 99 m.regs.(17)
+
 let () =
   Alcotest.run "machine"
     [ ("alu",
@@ -355,6 +412,16 @@ let () =
        [ Alcotest.test_case "cycle costs" `Quick cycle_costs;
          Alcotest.test_case "branch cycles" `Quick branch_cycles;
          Alcotest.test_case "sleep fast-forward" `Quick sleep_fast_forward ]);
+      ("invalidation",
+       [ Alcotest.test_case "flash overflow" `Quick flash_overflow_rejected;
+         Alcotest.test_case "reload invalidates blocks (tier-1)" `Quick
+           (reload_invalidates_blocks false);
+         Alcotest.test_case "reload invalidates blocks (tier-0)" `Quick
+           (reload_invalidates_blocks true);
+         Alcotest.test_case "syscall self-patch (tier-1)" `Quick
+           (syscall_patches_code false);
+         Alcotest.test_case "syscall self-patch (tier-0)" `Quick
+           (syscall_patches_code true) ]);
       ("memory",
        [ Alcotest.test_case "data rw" `Quick data_memory;
          Alcotest.test_case "sp via io" `Quick sp_via_io;

@@ -163,6 +163,74 @@ let trace_records_routing () =
     (Trace.counter tr "mote0.cpu.cycles" > 0
      && Trace.counter tr "mote1.cpu.cycles" > 0)
 
+(* Domain-parallel stepping must be invisible: the same 8-mote lossy
+   network run on 1, 2, 3, 4, and 8 domains produces byte-identical
+   counters, event streams, loss-LFSR state, and per-mote machine
+   state.  The network is deliberately still running when the cycle
+   budget expires, so mid-flight queues and preemption state are part
+   of what must match. *)
+let domain_determinism () =
+  let packets = 6 in
+  let bytes = 3 * packets in
+  let compute = Asm.Assembler.assemble (Programs.Lfsr_bench.program ~iters:200 ()) in
+  let images =
+    [ [ sink ~bytes ]; [ relay ~bytes ]; [ relay ~bytes; compute ];
+      [ leaf ~packets ]; [ sink ~bytes ]; [ relay ~bytes ];
+      [ leaf ~packets ]; [ leaf ~packets ] ]
+  in
+  let run domains =
+    let tr = Trace.create () in
+    let net = Net.create ~trace:tr ~loss_permille:100 images in
+    Net.chain net;
+    let live = Net.run ~max_cycles:2_000_000 ~domains net in
+    Net.publish_counters net;
+    (net, tr, live)
+  in
+  let net1, tr1, live1 = run 1 in
+  let mote_state (net : Net.t) =
+    Array.to_list net.nodes
+    |> List.concat_map (fun (n : Net.node) ->
+           let m = n.kernel.m in
+           [ m.cycles; m.insns; m.pc; m.sp; Queue.length m.io.radio_tx;
+             List.length m.io.radio_rx; Bool.to_int n.finished ])
+  in
+  List.iter
+    (fun domains ->
+      let netd, trd, lived = run domains in
+      let what fmt = Printf.sprintf ("domains=%d: " ^^ fmt) domains in
+      Alcotest.(check int) (what "still running") live1 lived;
+      Alcotest.(check int) (what "routed") net1.routed netd.routed;
+      Alcotest.(check int) (what "dropped") net1.dropped netd.dropped;
+      Alcotest.(check int) (what "quanta") net1.quanta netd.quanta;
+      Alcotest.(check int) (what "loss LFSR state") net1.loss_state
+        netd.loss_state;
+      Alcotest.(check (list int)) (what "per-mote machine state")
+        (mote_state net1) (mote_state netd);
+      Alcotest.(check (list (pair string int)))
+        (what "counters") (Trace.counters tr1) (Trace.counters trd);
+      Alcotest.(check int) (what "event count")
+        (List.length (Trace.events tr1))
+        (List.length (Trace.events trd));
+      List.iter2
+        (fun e1 ed ->
+          Alcotest.(check bool)
+            (Fmt.str "domains=%d: event %a = %a" domains Trace.pp_event e1
+               Trace.pp_event ed)
+            true
+            (Trace.equal_event e1 ed))
+        (Trace.events tr1) (Trace.events trd))
+    [ 2; 3; 4; 8 ]
+
+(* Sanity for the clamp: more domains than motes, and a finished network
+   stepped again, must behave like the sequential path. *)
+let domain_clamp () =
+  let net = Net.create [ [ leaf ~packets:2 ]; [ sink ~bytes:6 ] ] in
+  Net.chain net;
+  let still = Net.run ~max_cycles:20_000_000 ~domains:16 net in
+  Alcotest.(check int) "finished under clamped domains" 0 still;
+  Alcotest.(check int) "re-run of a finished net is a no-op" 0
+    (Net.run ~domains:4 net)
+
 let () =
   Alcotest.run "net"
     [ ("collection",
@@ -172,4 +240,8 @@ let () =
          Alcotest.test_case "multitasking relay" `Quick multitasking_mote_in_a_network ]);
       ("plumbing",
        [ Alcotest.test_case "tx queue drained" `Quick exchange_drains_tx_queue;
-         Alcotest.test_case "trace records routing" `Quick trace_records_routing ]) ]
+         Alcotest.test_case "trace records routing" `Quick trace_records_routing ]);
+      ("domains",
+       [ Alcotest.test_case "1 vs N domains byte-identical" `Quick
+           domain_determinism;
+         Alcotest.test_case "domain clamp" `Quick domain_clamp ]) ]
