@@ -62,6 +62,28 @@ let native_cmd =
   Cmd.v (Cmd.info "native" ~doc:"Run one program bare-metal, no OS")
     Term.(const run $ prog_arg)
 
+(* Shared by run/resume: final stop, kernel counters, per-task lines. *)
+let print_run_summary (k : Kernel.t) (stop : Machine.Cpu.stop) ~trace =
+  Fmt.pr "stopped: %a after %d cycles (%.3f s)@." Machine.Cpu.pp_stop stop
+    k.m.cycles (Avr.Cycles.to_seconds k.m.cycles);
+  Fmt.pr "traps=%d switches=%d relocations=%d (%d bytes) translations=%d@."
+    k.stats.traps k.stats.context_switches k.stats.relocations
+    k.stats.relocated_bytes k.stats.translations;
+  List.iter
+    (fun (t : Kernel.Task.t) ->
+      let status =
+        match t.status with
+        | Ready -> "ready"
+        | Sleeping _ -> "sleeping"
+        | Exited r -> "exited: " ^ r
+      in
+      Fmt.pr "task %d %-12s region [%04x,%04x) stack %4dB  %s@." t.id t.name
+        t.region.p_l t.region.p_u (Kernel.Task.stack_alloc t) status)
+    k.tasks;
+  if trace then
+    List.iter (fun e -> print_endline (Trace.json_of_event e))
+      (Kernel.event_log k)
+
 (* run (under SenSmart) *)
 let run_cmd =
   let budget =
@@ -75,30 +97,122 @@ let run_cmd =
     let images = List.map lookup_image names in
     let k = Sensmart.boot images in
     let stop = Sensmart.run ~max_cycles:budget k in
-    Fmt.pr "stopped: %a after %d cycles (%.3f s)@." Machine.Cpu.pp_stop stop
-      k.m.cycles (Avr.Cycles.to_seconds k.m.cycles);
-    Fmt.pr "traps=%d switches=%d relocations=%d (%d bytes) translations=%d@."
-      k.stats.traps k.stats.context_switches k.stats.relocations
-      k.stats.relocated_bytes k.stats.translations;
-    List.iter
-      (fun (t : Kernel.Task.t) ->
-        let status =
-          match t.status with
-          | Ready -> "ready"
-          | Sleeping _ -> "sleeping"
-          | Exited r -> "exited: " ^ r
-        in
-        Fmt.pr "task %d %-12s region [%04x,%04x) stack %4dB  %s@." t.id t.name
-          t.region.p_l t.region.p_u (Kernel.Task.stack_alloc t) status)
-      k.tasks;
-    if trace then
-      List.iter (fun e -> print_endline (Trace.json_of_event e))
-        (Kernel.event_log k)
+    print_run_summary k stop ~trace
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run programs concurrently under the SenSmart kernel")
     Term.(const exec $ progs_arg $ budget $ trace)
+
+(* snapshot: run to a cycle, save the full deterministic state *)
+let snapshot_cmd =
+  let at =
+    Arg.(value & opt int 1_000_000
+         & info [ "at" ] ~doc:"Capture after this many cycles.")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot file to write.")
+  in
+  let exec names at out =
+    let images = List.map lookup_image names in
+    let k = Sensmart.boot images in
+    ignore (Sensmart.run ~max_cycles:at k);
+    let s = Snapshot.of_kernel ~programs:names k in
+    Snapshot.save out s;
+    Fmt.pr "%s: %s (%d bytes)@." out (Snapshot.describe s)
+      (String.length (Snapshot.to_string s))
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Run programs under the kernel and save a deterministic \
+             snapshot of the whole state")
+    Term.(const exec $ progs_arg $ at $ out)
+
+(* resume: restore a snapshot onto a freshly booted kernel, keep running *)
+let resume_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Snapshot file written by the snapshot command.")
+  in
+  let budget =
+    Arg.(value & opt int 200_000_000
+         & info [ "budget" ] ~doc:"Total cycle budget (snapshot cycles included).")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the kernel event log.")
+  in
+  let exec file budget trace =
+    match Snapshot.load file with
+    | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 1
+    | Ok s ->
+      (match Snapshot.programs s with
+       | [] ->
+         Fmt.epr "%s records no program names; cannot re-create the host@." file;
+         exit 1
+       | names ->
+         let images = List.map lookup_image names in
+         let k = Sensmart.boot images in
+         (match Snapshot.restore_kernel s k with
+          | exception Snapshot.Incompatible msg ->
+            Fmt.epr "%s does not fit the rebooted host: %s@." file msg;
+            exit 1
+          | () ->
+            Fmt.pr "resumed %s@." (Snapshot.describe s);
+            let stop = Sensmart.run ~max_cycles:budget k in
+            print_run_summary k stop ~trace))
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Restore a snapshot (rebooting its recorded programs) and \
+             continue the run")
+    Term.(const exec $ file $ budget $ trace)
+
+(* bisect: find the first cycle where two engine configurations diverge *)
+let bisect_cmd =
+  let budget =
+    Arg.(value & opt int 2_000_000
+         & info [ "budget" ] ~doc:"Cycle horizon to search up to.")
+  in
+  let granularity =
+    Arg.(value & opt int 64
+         & info [ "granularity" ]
+             ~doc:"Stop narrowing when the divergence interval is at most \
+                   this many cycles wide.")
+  in
+  let poke =
+    Arg.(value & opt (some int) None
+         & info [ "poke" ] ~docv:"CYCLE"
+             ~doc:"Artificially corrupt one spare kernel cell on the \
+                   tier-1 side once its clock passes this cycle (driver \
+                   self-test: bisect must find it).")
+  in
+  let exec names budget granularity poke =
+    let images = List.map lookup_image names in
+    let boot () = Sensmart.boot images in
+    let poke =
+      Option.map
+        (fun at -> { Snapshot.Bisect.poke_at = at; poke_value = 0xA5 })
+        poke
+    in
+    let tier1 = Snapshot.Bisect.kernel_subject ?poke boot in
+    let tier0 = Snapshot.Bisect.kernel_subject ~interp:true boot in
+    let verdict =
+      Snapshot.Bisect.hunt ~granularity ~max_cycles:budget tier1 tier0
+    in
+    Fmt.pr "%a@." Snapshot.Bisect.pp_verdict verdict;
+    match verdict with
+    | Snapshot.Bisect.Identical _ -> ()
+    | Snapshot.Bisect.Diverged _ -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:"Binary-search the first cycle where the tier-1 compiled-block \
+             engine diverges from the tier-0 reference interpreter \
+             (exit 3 when a divergence is found)")
+    Term.(const exec $ progs_arg $ budget $ granularity $ poke)
 
 (* trace: run programs, replay the event stream as JSONL *)
 let trace_cmd =
@@ -282,5 +396,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; disasm_cmd; native_cmd; run_cmd; trace_cmd; stats_cmd;
-            compile_cmd; table1; table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))
+          [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
+            resume_cmd; bisect_cmd; trace_cmd; stats_cmd; compile_cmd; table1;
+            table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

@@ -44,6 +44,7 @@ module Workloads = Workloads
 module Minic = Minic
 module Net = Net
 module Trace = Trace
+module Snapshot = Snapshot
 
 (** Assemble a program source into a binary image with its symbol list. *)
 let assemble = Asm.Assembler.assemble

@@ -465,10 +465,11 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
 (* --- run ------------------------------------------------------------------ *)
 
 (** Run the multitasking workload until every task exits (or faults) or
-    the cycle budget runs out. *)
-let run ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
+    the cycle budget runs out.  [~interp:true] forces the tier-0
+    reference interpreter (differential testing and bisection). *)
+let run ?(interp = false) ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
   let rec loop () =
-    match Machine.Cpu.run ~max_cycles k.m with
+    match Machine.Cpu.run ~interp ~max_cycles k.m with
     | Halted h ->
       (match h with
        | Machine.Cpu.Break_hit -> ()

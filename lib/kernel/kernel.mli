@@ -86,8 +86,10 @@ val boot :
   t
 
 (** Run until every task exits (machine halts with [Break_hit]) or the
-    cycle budget runs out. *)
-val run : ?max_cycles:int -> t -> Machine.Cpu.stop
+    cycle budget runs out.  [~interp:true] forces the tier-0 reference
+    interpreter, as in {!Machine.Cpu.run} (differential testing and
+    divergence bisection); behaviour is bit-identical across tiers. *)
+val run : ?interp:bool -> ?max_cycles:int -> t -> Machine.Cpu.stop
 
 (** Admit a new application at run time — "reprogramming as an OS
     service".  Needs a spare TCB slot; its memory region is carved from

@@ -208,10 +208,22 @@ end
 (** Run the whole network until every node's tasks exit or [max_cycles]
     elapse on each mote.  Returns the number of nodes still running.
     [domains] (default 1) steps disjoint mote partitions on that many
-    OCaml domains; results are byte-identical at any count. *)
-let run ?(max_cycles = 50_000_000) ?(domains = 1) (t : t) : int =
+    OCaml domains; results are byte-identical at any count.
+
+    The lockstep position is derived from [t.quanta], so a network
+    restored from a snapshot resumes exactly where it left off: calling
+    [run] again continues the same horizon sequence, and an interrupted
+    run followed by a resume is byte-identical to an uninterrupted one.
+
+    [checkpoint_every] (cycles, rounded up to quantum boundaries) calls
+    [on_checkpoint horizon t] between quanta whenever the lockstep
+    horizon crosses a multiple of it — the state handed to the callback
+    is coordinator-consistent (sinks drained, bytes exchanged), i.e.
+    exactly what a snapshot capture needs. *)
+let run ?(max_cycles = 50_000_000) ?(domains = 1) ?checkpoint_every
+    ?(on_checkpoint = fun _ _ -> ()) (t : t) : int =
   let d = max 1 (min domains (Array.length t.nodes)) in
-  let horizon = ref 0 in
+  let horizon = ref (t.quanta * t.quantum) in
   let live () =
     Array.fold_left (fun a n -> if n.finished then a else a + 1) 0 t.nodes
   in
@@ -220,7 +232,12 @@ let run ?(max_cycles = 50_000_000) ?(domains = 1) (t : t) : int =
     t.quanta <- t.quanta + 1;
     step_all !horizon;
     drain_sinks t;
-    exchange t
+    exchange t;
+    match checkpoint_every with
+    | Some every when every > 0 && !horizon / every > (!horizon - t.quantum) / every
+      ->
+      on_checkpoint !horizon t
+    | Some _ | None -> ()
   in
   if d = 1 then
     while live () > 0 && !horizon < max_cycles do

@@ -58,8 +58,24 @@ val chain : t -> unit
     steps disjoint mote partitions (mote [i] on domain [i mod domains])
     in parallel each quantum; exchange, loss, and trace merging stay on
     the calling domain, so counters, events, and machine state are
-    byte-identical at any domain count. *)
-val run : ?max_cycles:int -> ?domains:int -> t -> int
+    byte-identical at any domain count.
+
+    The lockstep position derives from [t.quanta], so calling [run]
+    again — including on a network restored from a [Snapshot] — resumes
+    the exact horizon sequence of an uninterrupted run.
+
+    [checkpoint_every] (cycles, effectively rounded up to a whole number
+    of quanta) invokes [on_checkpoint horizon t] between quanta each
+    time the lockstep horizon crosses a multiple of it; the network is
+    coordinator-consistent at that point (sinks drained, bytes
+    exchanged), which is the state a snapshot capture needs. *)
+val run :
+  ?max_cycles:int ->
+  ?domains:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(int -> t -> unit) ->
+  t ->
+  int
 
 val node : t -> int -> node
 

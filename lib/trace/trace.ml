@@ -81,6 +81,29 @@ let transfer ~into src =
     src.overflow <- 0
   end
 
+(* --- snapshot support ---------------------------------------------------- *)
+
+type dump = {
+  d_events : event list;  (* oldest first *)
+  d_overflow : int;
+  d_counters : (string * int) list;
+}
+
+let counters_of t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump t =
+  { d_events = events t; d_overflow = t.overflow; d_counters = counters_of t }
+
+let restore t d =
+  clear t;
+  List.iter (fun e -> emit t ~mote:e.mote ~at:e.at e.kind) d.d_events;
+  (* Replaying through [emit] may itself overflow when the target ring is
+     smaller than the dump; the dump's count is authoritative either way. *)
+  t.overflow <- d.d_overflow;
+  List.iter (fun (k, v) -> Hashtbl.replace t.counters k v) d.d_counters
+
 (* --- counters ----------------------------------------------------------- *)
 
 let incr ?(by = 1) t name =
@@ -314,6 +337,20 @@ let event_of_json (line : string) : (event, string) result =
       | other -> Error (Printf.sprintf "unknown event kind %S" other)
     in
     Ok { mote; at; kind }
+
+(** Parse a counter snapshot produced by {!counters_json} back into the
+    sorted association list {!counters} returns. *)
+let counters_of_json (s : string) : ((string * int) list, string) result =
+  match parse_object s with
+  | exception Parse_error msg -> Error msg
+  | fields ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, J_int v) :: rest -> go ((k, v) :: acc) rest
+      | (k, (J_str _ | J_null)) :: _ ->
+        Error (Printf.sprintf "counter %S is not an integer" k)
+    in
+    go [] fields
 
 (* --- pretty printing ----------------------------------------------------- *)
 

@@ -62,6 +62,28 @@ val events : t -> event list
     transferred in node-id order once per lockstep quantum. *)
 val transfer : into:t -> t -> unit
 
+(** {2 Snapshotting}
+
+    A {!dump} is the sink's full serializable state: the event stream
+    (oldest first), the overflow count, and the counter registry.
+    {!restore} replays a dump into a sink (after clearing it), so a
+    capture/restore round trip leaves {!events}, {!overflow}, and
+    {!counters} byte-identical when the capacities match.  Used by
+    [lib/snapshot]. *)
+
+type dump = {
+  d_events : event list;  (** oldest first *)
+  d_overflow : int;
+  d_counters : (string * int) list;  (** sorted by name *)
+}
+
+val dump : t -> dump
+
+(** Replace [t]'s entire state with the dump's.  Events replay through
+    the normal ring path, so a target ring smaller than the dump keeps
+    only the newest events; the dump's overflow count wins either way. *)
+val restore : t -> dump -> unit
+
 (** {2 Counters} *)
 
 (** [incr ?by t name] adds [by] (default 1) to counter [name],
@@ -89,6 +111,10 @@ val to_jsonl : t -> string
 
 (** The counter snapshot as a JSON object. *)
 val counters_json : t -> string
+
+(** Parse a {!counters_json} object back into the sorted association
+    list {!counters} returns. *)
+val counters_of_json : string -> ((string * int) list, string) result
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit

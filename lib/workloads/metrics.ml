@@ -72,6 +72,57 @@ let collect ?(window = 2_000_000) () : Trace.t =
   Net.chain net;
   ignore (Net.run ~max_cycles:window net);
   Net.publish_counters net;
+  (* Snapshot subsystem cost, host-side like the throughput numbers:
+     serialized size of a whole-network capture, capture+encode rate,
+     and the throughput tax of periodic auto-checkpointing on a fresh
+     copy of the same network workload. *)
+  let encoded = Snapshot.to_string (Snapshot.of_net net) in
+  Trace.set_counter trace "host.snapshot_bytes" (String.length encoded);
+  let reps = 10 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Snapshot.to_string (Snapshot.of_net net))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Trace.set_counter trace "host.snapshot_capture_us"
+    (int_of_float (dt *. 1e6 /. float_of_int reps));
+  if dt > 0.0 then
+    Trace.set_counter trace "host.snapshot_capture_mb_per_sec"
+      (int_of_float
+         (float_of_int (reps * String.length encoded)
+          /. (1024.0 *. 1024.0) /. dt));
+  let net_workload () =
+    let n =
+      Net.create
+        [ [ assemble (Programs.Am_bench.program ~packets:4 ()) ];
+          [ assemble (Programs.Lfsr_bench.program ~iters:500 ()) ] ]
+    in
+    Net.chain n;
+    n
+  in
+  let timed_run ?checkpoint_every ?(on_checkpoint = fun _ _ -> ()) () =
+    let n = net_workload () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Net.run ~max_cycles:window ?checkpoint_every ~on_checkpoint n);
+    Unix.gettimeofday () -. t0
+  in
+  let plain = timed_run () in
+  let checkpoints = ref 0 in
+  let chk =
+    timed_run
+      ~checkpoint_every:(max 1 (window / 8))
+      ~on_checkpoint:(fun _ n ->
+        Stdlib.incr checkpoints;
+        ignore (Snapshot.to_string (Snapshot.of_net n)))
+      ()
+  in
+  Trace.set_counter trace "host.net_plain_us" (int_of_float (plain *. 1e6));
+  Trace.set_counter trace "host.net_checkpointed_us"
+    (int_of_float (chk *. 1e6));
+  Trace.set_counter trace "host.checkpoints" !checkpoints;
+  if plain > 0.0 then
+    Trace.set_counter trace "host.checkpoint_overhead_pct"
+      (int_of_float ((chk -. plain) *. 100.0 /. plain));
   host_throughput trace;
   Trace.set_counter trace "host.wall_ms"
     (int_of_float ((Unix.gettimeofday () -. started) *. 1000.0));

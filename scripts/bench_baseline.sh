@@ -1,0 +1,16 @@
+#!/bin/sh
+# Record (or refresh) the committed perf baseline that
+# scripts/bench_diff.sh gates against: release-build the bench harness,
+# run the metrics smoke pass, and install the snapshot as
+# bench/baseline_metrics.json.
+#
+# Run this whenever the workloads themselves change (bench_diff prints
+# WARNING lines for drifted simulated counters) or when a PR
+# legitimately shifts host.* throughput; commit the refreshed file.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build --profile release bench/main.exe
+dune exec --profile release bench/main.exe -- --smoke
+mv sensmart_metrics.json bench/baseline_metrics.json
+echo "baseline refreshed: bench/baseline_metrics.json"

@@ -22,6 +22,27 @@ if [ $# -ne 2 ]; then
     exit 2
 fi
 
+# Fail loudly on a missing or foreign file rather than letting awk diff
+# an empty counter set and report a vacuous pass.
+for f in "$1" "$2"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_diff: $f does not exist." >&2
+        if [ "$f" = "$1" ]; then
+            echo "bench_diff: record a baseline first: scripts/bench_baseline.sh" >&2
+        else
+            echo "bench_diff: produce a snapshot first: dune exec --profile release bench/main.exe -- --smoke" >&2
+        fi
+        exit 2
+    fi
+    if ! grep -q '"host\.tier1_insns_per_sec"' "$f"; then
+        echo "bench_diff: $f is not a metrics snapshot (no host.tier1_insns_per_sec; schema in DESIGN.md)." >&2
+        if [ "$f" = "$1" ]; then
+            echo "bench_diff: refresh the baseline with scripts/bench_baseline.sh" >&2
+        fi
+        exit 2
+    fi
+done
+
 awk -v thresh="${BENCH_DIFF_THRESHOLD:-10}" '
 FNR == 1 { file++ }
 /":/ {

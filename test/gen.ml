@@ -17,6 +17,37 @@
 
 open Asm.Macros
 
+(* --- seeded randomness ---------------------------------------------------- *)
+
+(* Every randomized suite draws from a run-wide seed: fresh entropy by
+   default, pinned by [SENSMART_SEED] for reproduction.  A failing
+   property prints the seed, so any counterexample found in CI can be
+   replayed locally with [SENSMART_SEED=<n> dune runtest]. *)
+let seed =
+  match Sys.getenv_opt "SENSMART_SEED" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n -> n
+     | None ->
+       Printf.eprintf "SENSMART_SEED=%S is not an integer\n%!" s;
+       exit 2)
+  | None -> Random.State.bits (Random.State.make_self_init ())
+
+let rand_state () = Random.State.make [| seed |]
+
+(** [QCheck_alcotest.to_alcotest] seeded with {!seed}; on failure the
+    seed (and how to replay it) is printed alongside the counterexample. *)
+let to_alcotest test =
+  let name, speed, f = QCheck_alcotest.to_alcotest ~rand:(rand_state ()) test in
+  ( name, speed,
+    fun x ->
+      try f x
+      with e ->
+        Printf.eprintf
+          "\nrandomized test %S failed; replay with SENSMART_SEED=%d\n%!" name
+          seed;
+        raise e )
+
 let assemble = Asm.Assembler.assemble
 let buf_size = 16
 

@@ -62,4 +62,4 @@ let prop_tkernel =
 let () =
   Alcotest.run "differential-fuzz"
     [ ("fuzz",
-       List.map QCheck_alcotest.to_alcotest [ prop_sensmart; prop_tkernel ]) ]
+       List.map Gen.to_alcotest [ prop_sensmart; prop_tkernel ]) ]

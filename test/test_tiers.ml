@@ -113,4 +113,4 @@ let () =
        [ Alcotest.test_case "single task" `Quick kernel_single;
          Alcotest.test_case "multitasking + relocation" `Quick
            kernel_multitask ]);
-      ("fuzz", List.map QCheck_alcotest.to_alcotest [ prop_tiers ]) ]
+      ("fuzz", List.map Gen.to_alcotest [ prop_tiers ]) ]

@@ -109,6 +109,64 @@ let escape_round_trip () =
                (Trace.equal_event e e')
   | Error msg -> Alcotest.failf "parse escaped: %s" msg
 
+(* --- dump/restore (snapshot support) -------------------------------------- *)
+
+let dump_restore_round_trip () =
+  let tr = Trace.create ~capacity:4 () in
+  emit_samples tr;  (* 8 samples into a 4-ring: 4 survive, overflow 4 *)
+  Trace.incr tr ~by:42 "a";
+  Trace.set_counter tr "b" 7;
+  let d = Trace.dump tr in
+  let tr' = Trace.create ~capacity:4 () in
+  Trace.emit tr' ~mote:9 ~at:1 (Trace.Spawned { task = 0; stack = 1 });
+  Trace.incr tr' "stale";
+  Trace.restore tr' d;
+  Alcotest.(check int) "length restored" (Trace.length tr) (Trace.length tr');
+  Alcotest.(check int) "overflow restored" (Trace.overflow tr)
+    (Trace.overflow tr');
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Fmt.str "event %a preserved in order" Trace.pp_event a)
+        true (Trace.equal_event a b))
+    (Trace.events tr) (Trace.events tr');
+  Alcotest.(check (list (pair string int)))
+    "counters replaced, stale keys gone" (Trace.counters tr)
+    (Trace.counters tr')
+
+let dump_is_a_copy () =
+  let tr = Trace.create () in
+  emit_samples tr;
+  let d = Trace.dump tr in
+  let before = List.length d.Trace.d_events in
+  Trace.emit tr ~mote:0 ~at:999 (Trace.Spawned { task = 9; stack = 9 });
+  Alcotest.(check int) "later emits do not leak into the dump" before
+    (List.length d.Trace.d_events)
+
+(* --- counters parser (metrics-file round-trip) ----------------------------- *)
+
+let counters_json_parse () =
+  let tr = Trace.create () in
+  Trace.set_counter tr "kernel.traps" 12;
+  Trace.set_counter tr "net.routed" 3;
+  Trace.set_counter tr "neg" (-4);
+  match Trace.counters_of_json (Trace.counters_json tr) with
+  | Ok kvs ->
+    Alcotest.(check (list (pair string int)))
+      "parses back to the sorted snapshot" (Trace.counters tr) kvs
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let counters_json_rejects_garbage () =
+  let bad =
+    [ ""; "not json"; "{"; {|{"a": "str"}|}; {|{"a": null}|}; {|[1,2]|} ]
+  in
+  List.iter
+    (fun s ->
+      match Trace.counters_of_json s with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" s
+      | Error _ -> ())
+    bad
+
 let () =
   Alcotest.run "trace"
     [ ("ring",
@@ -116,9 +174,16 @@ let () =
          Alcotest.test_case "clear" `Quick clear_resets ]);
       ("counters",
        [ Alcotest.test_case "registry" `Quick counters_registry;
-         Alcotest.test_case "json snapshot" `Quick counters_json_snapshot ]);
+         Alcotest.test_case "json snapshot" `Quick counters_json_snapshot;
+         Alcotest.test_case "json parse" `Quick counters_json_parse;
+         Alcotest.test_case "json parse rejects garbage" `Quick
+           counters_json_rejects_garbage ]);
       ("json",
        [ Alcotest.test_case "event round-trip" `Quick event_json_round_trip;
          Alcotest.test_case "jsonl stream" `Quick jsonl_stream;
          Alcotest.test_case "rejects garbage" `Quick reject_garbage;
-         Alcotest.test_case "string escapes" `Quick escape_round_trip ]) ]
+         Alcotest.test_case "string escapes" `Quick escape_round_trip ]);
+      ("dump",
+       [ Alcotest.test_case "dump/restore round-trip" `Quick
+           dump_restore_round_trip;
+         Alcotest.test_case "dump is a copy" `Quick dump_is_a_copy ]) ]

@@ -182,9 +182,37 @@ let registry_complete () =
        (fun n -> List.mem n Workloads.Registry.names)
        [ "am"; "amplitude"; "crc"; "eventchain"; "lfsr"; "readadc"; "timer" ])
 
+(* The metrics file must survive a disk round-trip through its own
+   parser: what [Metrics.write_file] writes, [Trace.counters_of_json]
+   reads back as exactly the registry's sorted counter snapshot (this is
+   the contract scripts/bench_diff.sh builds on). *)
+let metrics_file_round_trip () =
+  let tr = Trace.create () in
+  (* A small but representative registry: dotted schema names, a zero,
+     and a negative value. *)
+  Trace.set_counter tr "kernel.traps" 12;
+  Trace.set_counter tr "mote0.cpu.cycles" 123_456;
+  Trace.set_counter tr "net.dropped" 0;
+  Trace.set_counter tr "host.delta" (-3);
+  let path = Filename.temp_file "sensmart_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check string) "write_file returns the path" path
+        (Workloads.Metrics.write_file ~path tr);
+      let data = In_channel.with_open_text path In_channel.input_all in
+      match Trace.counters_of_json data with
+      | Ok kvs ->
+        Alcotest.(check (list (pair string int)))
+          "parses back to the sorted counter snapshot" (Trace.counters tr)
+          kvs
+      | Error msg -> Alcotest.failf "parse of %s: %s" path msg)
+
 let () =
   Alcotest.run "workloads"
     [ ("table2", [ Alcotest.test_case "overhead sane" `Quick overhead_sane ]);
+      ("metrics",
+       [ Alcotest.test_case "file round-trip" `Quick metrics_file_round_trip ]);
       ("fig4-5",
        [ Alcotest.test_case "fig4 invariants" `Quick fig4_invariants;
          Alcotest.test_case "fig5 ordering" `Quick fig5_ordering ]);
