@@ -276,6 +276,105 @@ let stats_cmd =
              network) as JSON")
     Term.(const exec $ progs $ budget $ out)
 
+(* fault: deterministic fault-injection campaigns and explicit plans *)
+let fault_cmd =
+  let trials =
+    Arg.(value & opt int 8
+         & info [ "trials" ] ~doc:"Number of independent campaign trials.")
+  in
+  let faults =
+    Arg.(value & opt int 6
+         & info [ "faults" ] ~doc:"Injections drawn per trial plan.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Campaign seed.  The same seed (and arguments) \
+                   reproduces the same report, bit for bit.")
+  in
+  let disruptive =
+    Arg.(value & flag
+         & info [ "disruptive" ]
+             ~doc:"Also draw crash, watchdog-reboot and clock-drift \
+                   faults (default: corruption faults only).")
+  in
+  let interp =
+    Arg.(value & flag
+         & info [ "interp" ]
+             ~doc:"Force the tier-0 reference interpreter (default: \
+                   tier-1 compiled blocks; results are identical).")
+  in
+  let budget =
+    Arg.(value & opt int 1_500_000
+         & info [ "budget" ]
+             ~doc:"Cycle budget per trial (and for an --inject run).")
+  in
+  let injects =
+    Arg.(value & opt_all string []
+         & info [ "inject"; "i" ] ~docv:"SPEC"
+             ~doc:"Apply one explicit injection, \
+                   AT[@MOTE]:KIND[:ARG...] (repeatable), e.g. \
+                   120000:sram:0x234:3 or 200000:crash.  With --inject \
+                   the campaign is skipped: the programs boot once and \
+                   run under exactly this plan.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"With --inject: print the kernel event log.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the run's counter snapshot as JSON.")
+  in
+  let exec names trials faults seed disruptive interp budget injects trace out =
+    let images = List.map lookup_image names in
+    match injects with
+    | [] ->
+      let report =
+        Fault.Campaign.run ~interp ~trials ~faults ~max_cycles:budget
+          ~disruptive ~seed images
+      in
+      Fmt.pr "%a@." Fault.Campaign.pp_report report;
+      (match out with
+       | None -> ()
+       | Some path ->
+         ignore
+           (Workloads.Metrics.write_file ~path report.Fault.Campaign.trace))
+    | specs ->
+      let parsed =
+        List.map
+          (fun s ->
+            match Fault.Plan.injection_of_spec s with
+            | Ok i -> i
+            | Error msg ->
+              Fmt.epr "bad --inject %S: %s@." s msg;
+              exit 1)
+          specs
+      in
+      let plan = Fault.Plan.make ~seed parsed in
+      let k = Sensmart.boot images in
+      let stop = Fault.run_kernel ~interp ~max_cycles:budget ~plan k in
+      Fmt.pr "plan: %a@." Fault.Plan.pp plan;
+      print_run_summary k stop ~trace;
+      Fmt.pr "injected: %d of %d@."
+        (Trace.counter k.trace "fault.injected")
+        (List.length parsed);
+      (match out with
+       | None -> ()
+       | Some path ->
+         Kernel.publish_counters k;
+         ignore (Workloads.Metrics.write_file ~path k.trace))
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Run a deterministic fault-injection campaign (seeded random \
+             plans, many trials, containment verdicts) or a single run \
+             under an explicit --inject plan")
+    Term.(const exec $ progs_arg $ trials $ faults $ seed $ disruptive
+          $ interp $ budget $ injects $ trace $ out)
+
 (* compile: minic source file -> run or disassemble *)
 let compile_cmd =
   let file =
@@ -397,5 +496,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
-            resume_cmd; bisect_cmd; trace_cmd; stats_cmd; compile_cmd; table1;
+            resume_cmd; bisect_cmd; trace_cmd; stats_cmd; fault_cmd;
+            compile_cmd; table1;
             table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

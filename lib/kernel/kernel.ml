@@ -462,20 +462,90 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
   schedule k;
   k
 
+(* --- crash and watchdog reboot ------------------------------------------- *)
+
+(** Kill the whole mote: the machine halts with [Fault reason] and no
+    task is current any more, so a subsequent {!run} returns the halt
+    immediately — without blaming (and terminating) whichever task
+    happened to be running.  Task records are left frozen as they were:
+    a {!watchdog_reboot} revives the node by warm-restarting every task
+    that was still live, which is how the crash+reboot pair composes in
+    a fault plan.  Models a node crash — the paper's deployment reality
+    of "numerous unreliable devices" — as opposed to {!terminate}, which
+    contains a single task's death. *)
+let crash k reason =
+  log k (Trace.Cpu_fault { reason });
+  k.current <- None;
+  k.m.halted <- Some (Machine.Cpu.Fault reason)
+
+(** Watchdog reset: the CPU restarts but the node survives.  As on a
+    real AVR a watchdog reset does not power-cycle SRAM, and startup
+    re-runs crt0, so every live task warm-restarts — context reset to
+    its entry point, heap re-initialized from the load image, stack
+    pointer back at the top of its (current) region.  Regions keep the
+    boundaries relocation gave them, and exited tasks stay dead: their
+    memory was already recycled, so there is nothing to restart them in.
+    Charges the same init costs as {!boot} and reschedules. *)
+let watchdog_reboot k =
+  let m = k.m in
+  m.halted <- None;
+  m.sleeping <- false;
+  k.current <- None;
+  List.iter
+    (fun (t : Task.t) ->
+      if Task.is_live t then begin
+        t.status <- Ready;
+        t.activations <- t.activations + 1;
+        t.region.sp <- t.region.p_u - 1;
+        for a = t.region.p_l to t.region.p_h - 1 do
+          Machine.Cpu.write8 m a 0
+        done;
+        List.iter
+          (fun (laddr, b) ->
+            Machine.Cpu.write8 m (t.region.p_l + (laddr - Asm.Image.heap_base)) b)
+          t.nat.source.data_init;
+        for i = 0 to Kcells.tcb_bytes - 1 do
+          Machine.Cpu.write8 m (t.tcb + i) 0
+        done;
+        write_cell16 m (t.tcb + 33) t.region.sp;
+        write_cell16 m (t.tcb + 35) t.nat.entry;
+        m.cycles <- m.cycles + Costing.init_per_task (t.region.p_u - t.region.p_l)
+      end)
+    k.tasks;
+  Machine.Cpu.write8 m Kcells.cnt (k.cfg.trap_period land 0xFF);
+  m.cycles <- m.cycles + Costing.init_fixed;
+  schedule k
+
 (* --- run ------------------------------------------------------------------ *)
 
 (** Run the multitasking workload until every task exits (or faults) or
     the cycle budget runs out.  [~interp:true] forces the tier-0
-    reference interpreter (differential testing and bisection). *)
+    reference interpreter (differential testing and bisection).
+
+    Machine-level faults are *contained*: when execution halts with an
+    invalid opcode or a machine fault while a live task is current (a
+    corrupted task jumped into garbage, or ran into an unknown-syscall
+    trampoline), the kernel logs the fault, terminates that task alone,
+    and keeps scheduling its siblings — Table I's isolation property
+    under the adversarial conditions lib/fault creates.  Only when no
+    live task can be blamed (e.g. an injected node crash) does the halt
+    end the run. *)
 let run ?(interp = false) ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
   let rec loop () =
     match Machine.Cpu.run ~interp ~max_cycles k.m with
     | Halted h ->
       (match h with
-       | Machine.Cpu.Break_hit -> ()
+       | Machine.Cpu.Break_hit -> Machine.Cpu.Halted h
        | Machine.Cpu.Invalid_opcode _ | Machine.Cpu.Fault _ ->
-         log k (Trace.Cpu_fault { reason = Fmt.str "%a" Machine.Cpu.pp_halt h }));
-      Machine.Cpu.Halted h
+         log k (Trace.Cpu_fault { reason = Fmt.str "%a" Machine.Cpu.pp_halt h });
+         (match k.current with
+          | Some t when Task.is_live t ->
+            k.m.halted <- None;
+            terminate k t (Fmt.str "cpu fault: %a" Machine.Cpu.pp_halt h);
+            (* terminate rescheduled; if that left no runnable task the
+               machine is halted again (Break_hit) and the loop ends. *)
+            loop ()
+          | Some _ | None -> Machine.Cpu.Halted h))
     | Sleeping ->
       (* A native SLEEP can only appear in unrewritten code; treat it as
          a yield for robustness. *)

@@ -28,6 +28,7 @@ type config = {
   spare_tcbs : int;  (** TCB slots reserved for run-time {!spawn} *)
 }
 
+(** The paper's defaults (256-branch trap period, 4 spare TCBs). *)
 val default_config : config
 
 type stats = {
@@ -67,6 +68,7 @@ exception Admission_failure of string
 (** Tasks that have not exited. *)
 val live_tasks : t -> Task.t list
 
+(** Task by id; raises [Not_found] when no such task exists. *)
 val find_task : t -> int -> Task.t
 
 (** Recorded events, oldest first (the whole sink's stream: for a
@@ -88,8 +90,31 @@ val boot :
 (** Run until every task exits (machine halts with [Break_hit]) or the
     cycle budget runs out.  [~interp:true] forces the tier-0 reference
     interpreter, as in {!Machine.Cpu.run} (differential testing and
-    divergence bisection); behaviour is bit-identical across tiers. *)
+    divergence bisection); behaviour is bit-identical across tiers.
+
+    Machine-level faults (invalid opcode, bounds-check kill) are
+    contained: when a live task is current the kernel logs a
+    [Cpu_fault] event, terminates that task alone, and keeps running
+    its siblings — the Table I isolation property, checked adversarially
+    by [lib/fault] campaigns.  The halt ends the run only when no live
+    task can be blamed (e.g. after {!crash}). *)
 val run : ?interp:bool -> ?max_cycles:int -> t -> Machine.Cpu.stop
+
+(** Kill the whole mote: logs a [Cpu_fault] event, clears the current
+    task, and halts the machine with [Fault reason], so any subsequent
+    {!run} returns the halt immediately without terminating anyone.
+    Task records stay frozen, which lets {!watchdog_reboot} revive the
+    node afterwards.  Models a node crash in a fault campaign. *)
+val crash : t -> string -> unit
+
+(** Watchdog reset: the CPU restarts but SRAM persists, as on a real
+    AVR watchdog reset.  Every live task warm-restarts — context back at
+    its entry point, heap re-initialized from the load image, stack
+    pointer at the top of its current region (boundaries from past
+    relocations are kept).  Exited tasks stay dead: their regions were
+    already recycled.  Charges {!Costing.init_fixed} and per-task init
+    costs, then reschedules. *)
+val watchdog_reboot : t -> unit
 
 (** Admit a new application at run time — "reprogramming as an OS
     service".  Needs a spare TCB slot; its memory region is carved from

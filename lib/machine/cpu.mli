@@ -115,8 +115,9 @@ val step : t -> unit
     with identical observable behaviour. *)
 val run : ?interp:bool -> ?max_cycles:int -> t -> stop
 
-(** Advance the clock without executing, attributing the span to idle
-    time; models a sleeping CPU. *)
+(** [fast_forward m target] advances the clock to the {e absolute}
+    cycle [target] (no-op when already past it) without executing,
+    attributing the span to idle time; models a sleeping CPU. *)
 val fast_forward : t -> int -> unit
 
 (** Earliest cycle at which a peripheral could wake a sleeping CPU. *)

@@ -143,3 +143,28 @@ let write io ~cycles addr v =
 (** Queue an incoming radio byte, available [after] cycles from now. *)
 let inject_rx io ~cycles ~after byte =
   io.radio_rx <- io.radio_rx @ [ (cycles + after, byte) ]
+
+(* Radio fault hooks for the fault-injection engine (lib/fault).  They
+   mutate the pending-RX queue only — the deterministic in-flight state —
+   so an injection between run segments perturbs exactly the bytes a
+   real channel fault would. *)
+
+(** XOR the [index]-th pending RX byte (0 = next to be read) with [xor].
+    Returns [false] (and changes nothing) when fewer bytes are pending. *)
+let corrupt_rx io ~index ~xor =
+  match List.nth_opt io.radio_rx index with
+  | None -> false
+  | Some _ ->
+    io.radio_rx <-
+      List.mapi
+        (fun i (c, b) -> if i = index then (c, (b lxor xor) land 0xFF) else (c, b))
+        io.radio_rx;
+    true
+
+(** Drop up to [count] pending RX bytes, oldest first; returns how many
+    were actually dropped (a loss burst at the receiver). *)
+let drop_rx io ~count =
+  let n = min (max 0 count) (List.length io.radio_rx) in
+  let rec chop n l = if n = 0 then l else chop (n - 1) (List.tl l) in
+  io.radio_rx <- chop n io.radio_rx;
+  n

@@ -66,3 +66,18 @@ val write : t -> cycles:int -> int -> int -> unit
 
 (** Queue an incoming radio byte, available [after] cycles from now. *)
 val inject_rx : t -> cycles:int -> after:int -> int -> unit
+
+(** {2 Radio fault hooks}
+
+    Used by the fault-injection engine ([lib/fault]).  Both mutate only
+    the pending-RX queue — the deterministic in-flight state — so an
+    injection between run segments perturbs exactly the bytes a real
+    channel fault would. *)
+
+(** XOR the [index]-th pending RX byte (0 = next to be read) with [xor].
+    Returns [false] (and changes nothing) when fewer bytes are pending. *)
+val corrupt_rx : t -> index:int -> xor:int -> bool
+
+(** Drop up to [count] pending RX bytes, oldest first; returns how many
+    were actually dropped (a loss burst at the receiver). *)
+val drop_rx : t -> count:int -> int

@@ -77,6 +77,7 @@ val run :
   t ->
   int
 
+(** Node by id; raises [Invalid_argument] when out of range. *)
 val node : t -> int -> node
 
 (** Bytes a mote has received but not yet consumed. *)

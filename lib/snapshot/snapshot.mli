@@ -68,7 +68,13 @@ val of_net : ?programs:string list -> Net.t -> t
     including when the snapshot kind does not match the target. *)
 
 val restore_machine : t -> Machine.Cpu.t -> unit
+
+(** Restore over a freshly booted kernel built from the same images
+    (flash goes through {!Machine.Cpu.load}, invalidating both tiers'
+    code caches). *)
 val restore_kernel : t -> Kernel.t -> unit
+
+(** Restore over a freshly created network of the same shape. *)
 val restore_net : t -> Net.t -> unit
 
 (** {2 Serialization}
@@ -81,8 +87,11 @@ val restore_net : t -> Net.t -> unit
 
 val to_string : t -> string
 
+(** Inverse of {!to_string}; [Error _] on corrupt or foreign input
+    (never raises). *)
 val of_string : string -> (t, string) result
 
+(** [save path s] writes {!to_string} to [path]. *)
 val save : string -> t -> unit
 
 (** [Error _] covers both I/O failures and corrupt/mismatched files. *)
@@ -96,6 +105,7 @@ val load : string -> (t, string) result
     implies {!to_string} equality. *)
 val diff : t -> t -> string list
 
+(** [diff a b = []]. *)
 val equal : t -> t -> bool
 
 (** Divergence bisection: binary-search for the first cycle at which two

@@ -22,6 +22,7 @@ type kind =
   | Spawned of { task : int; stack : int }
   | Routed of { src : int; dst : int; byte : int }
   | Dropped of { src : int; dst : int; byte : int }
+  | Injected of { fault : string }
 
 type event = { mote : int; at : int; kind : kind }
 
@@ -154,6 +155,7 @@ let kind_fields = function
     ("routed", [ ("src", `Int src); ("dst", `Int dst); ("byte", `Int byte) ])
   | Dropped { src; dst; byte } ->
     ("dropped", [ ("src", `Int src); ("dst", `Int dst); ("byte", `Int byte) ])
+  | Injected { fault } -> ("injected", [ ("fault", `Str fault) ])
 
 let json_of_event (e : event) =
   let name, fields = kind_fields e.kind in
@@ -334,6 +336,9 @@ let event_of_json (line : string) : (event, string) result =
         let* dst = int "dst" in
         let* byte = int "byte" in
         Ok (Dropped { src; dst; byte })
+      | "injected" ->
+        let* fault = str "fault" in
+        Ok (Injected { fault })
       | other -> Error (Printf.sprintf "unknown event kind %S" other)
     in
     Ok { mote; at; kind }
@@ -366,6 +371,7 @@ let pp_kind fmt = function
   | Spawned { task; stack } -> Fmt.pf fmt "task %d spawned with %dB stack" task stack
   | Routed { src; dst; byte } -> Fmt.pf fmt "routed %02x: %d -> %d" byte src dst
   | Dropped { src; dst; byte } -> Fmt.pf fmt "dropped %02x: %d -> %d" byte src dst
+  | Injected { fault } -> Fmt.pf fmt "injected fault: %s" fault
 
 let pp_event fmt (e : event) =
   Fmt.pf fmt "%10d mote%d  %a" e.at e.mote pp_kind e.kind

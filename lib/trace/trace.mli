@@ -25,11 +25,15 @@ type kind =
   | Spawned of { task : int; stack : int }
   | Routed of { src : int; dst : int; byte : int }
   | Dropped of { src : int; dst : int; byte : int }
+  | Injected of { fault : string }
+      (** a fault-injection engine mutated this mote's state; [fault] is
+          the compact description [Fault.describe] produces *)
 
 type event = { mote : int; at : int; kind : kind }
 
 type t
 
+(** Ring capacity when {!create} is not told otherwise (4096). *)
 val default_capacity : int
 
 (** [create ?capacity ()] makes an empty sink whose ring holds at most
@@ -37,6 +41,7 @@ val default_capacity : int
     overwritten and counted in {!overflow}. *)
 val create : ?capacity:int -> unit -> t
 
+(** The sink's fixed ring capacity. *)
 val capacity : t -> int
 
 (** Events currently held (at most the capacity). *)
@@ -49,6 +54,7 @@ val overflow : t -> int
     every counter. *)
 val clear : t -> unit
 
+(** [emit t ~mote ~at kind] appends one event to the ring. *)
 val emit : t -> mote:int -> at:int -> kind -> unit
 
 (** Recorded events, oldest first. *)
@@ -77,6 +83,7 @@ type dump = {
   d_counters : (string * int) list;  (** sorted by name *)
 }
 
+(** Capture the sink's full state. *)
 val dump : t -> dump
 
 (** Replace [t]'s entire state with the dump's.  Events replay through
@@ -90,6 +97,7 @@ val restore : t -> dump -> unit
     creating it at 0 first. *)
 val incr : ?by:int -> t -> string -> unit
 
+(** [set_counter t name v] overwrites counter [name] with [v]. *)
 val set_counter : t -> string -> int -> unit
 
 (** Current value, 0 if never written. *)
@@ -115,6 +123,8 @@ val counters_json : t -> string
 (** Parse a {!counters_json} object back into the sorted association
     list {!counters} returns. *)
 val counters_of_json : string -> ((string * int) list, string) result
+
+(** {2 Pretty-printing and equality} *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit

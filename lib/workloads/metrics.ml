@@ -123,6 +123,46 @@ let collect ?(window = 2_000_000) () : Trace.t =
   if plain > 0.0 then
     Trace.set_counter trace "host.checkpoint_overhead_pct"
       (int_of_float ((chk -. plain) *. 100.0 /. plain));
+  (* Fault-injection campaign: a deterministic seeded campaign over the
+     same pressure workload, publishing the engine's "fault.*" counters
+     (simulated, machine-independent), plus the host-side overhead of
+     running a plan through the injection engine versus plain. *)
+  let fault_images =
+    [ assemble (Programs.Lfsr_bench.program ~iters:2_000 ());
+      assemble (Programs.Timer_bench.program ()) ]
+  in
+  let report =
+    Fault.Campaign.run ~trials:4 ~faults:5 ~max_cycles:(window / 4) ~seed:1
+      fault_images
+  in
+  List.iter
+    (fun (name, v) -> Trace.set_counter trace name v)
+    (Trace.counters report.Fault.Campaign.trace);
+  let fault_plan =
+    Fault.Plan.random ~seed:2 ~n:8 ~window:(window / 20, window / 2) ()
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let fault_plain =
+    timed (fun () ->
+        let k = Kernel.boot fault_images in
+        ignore (Kernel.run ~max_cycles:(window / 2) k))
+  in
+  let fault_run =
+    timed (fun () ->
+        let k = Kernel.boot fault_images in
+        ignore (Fault.run_kernel ~max_cycles:(window / 2) ~plan:fault_plan k))
+  in
+  Trace.set_counter trace "host.fault_plain_us"
+    (int_of_float (fault_plain *. 1e6));
+  Trace.set_counter trace "host.fault_run_us"
+    (int_of_float (fault_run *. 1e6));
+  if fault_plain > 0.0 then
+    Trace.set_counter trace "host.fault_overhead_pct"
+      (int_of_float ((fault_run -. fault_plain) *. 100.0 /. fault_plain));
   host_throughput trace;
   Trace.set_counter trace "host.wall_ms"
     (int_of_float ((Unix.gettimeofday () -. started) *. 1000.0));

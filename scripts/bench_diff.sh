@@ -15,6 +15,13 @@
 #                    the reproduction's behaviour changed, which is
 #                    fine only when the workloads themselves changed —
 #                    refresh the committed baseline in that case).
+#
+# Key-set drift is FATAL in both directions: a counter present in the
+# baseline but absent from the new snapshot (a subsystem silently
+# dropped out of the smoke run), or a new counter absent from the
+# baseline (an added subsystem nobody is gating yet), exits 1.  Refresh
+# the committed baseline with scripts/bench_baseline.sh when the schema
+# legitimately changed.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -59,7 +66,11 @@ FNR == 1 { file++ }
 END {
     status = 0
     for (k in base) {
-        if (!(k in cur)) { printf "MISSING     %s (baseline %s)\n", k, base[k]; next_missing++; continue }
+        if (!(k in cur)) {
+            printf "MISSING     %s (baseline %s): counter vanished from the smoke run\n", k, base[k]
+            drift = 1
+            continue
+        }
         b = base[k] + 0; c = cur[k] + 0
         if (k ~ /^host\./) {
             if (k ~ /_per_sec$/ && b > 0) {
@@ -77,6 +88,15 @@ END {
             printf "WARNING     %s: %d -> %d (simulated counter drifted)\n", k, b, c
         }
     }
-    for (k in cur) if (!(k in base)) printf "NEW         %s = %s\n", k, cur[k]
+    for (k in cur) {
+        if (!(k in base)) {
+            printf "NEW         %s = %s: counter absent from the baseline\n", k, cur[k]
+            drift = 1
+        }
+    }
+    if (drift) {
+        print "bench_diff: key-set drift; if intended, refresh the baseline with scripts/bench_baseline.sh and commit it"
+        status = 1
+    }
     exit status
 }' "$1" "$2"

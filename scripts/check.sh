@@ -8,6 +8,15 @@ cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 
+# API reference: every public .mli must keep building under odoc.
+# Gated on the tool being installed so local dev loops without odoc
+# still work; CI installs it, so doc breakage fails the build there.
+if command -v odoc >/dev/null 2>&1; then
+    dune build @doc
+else
+    echo "check.sh: odoc not installed; skipping dune build @doc (CI runs it)" >&2
+fi
+
 # Execution-tier differential harness: every bundled program plus
 # randomized streams must be bit-identical between the tier-1 block
 # engine and the tier-0 interpreter (also part of runtest; run
