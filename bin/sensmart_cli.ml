@@ -148,6 +148,14 @@ let resume_cmd =
       Fmt.epr "%s: %s@." file msg;
       exit 1
     | Ok s ->
+      if Snapshot.kind_name s = "net" then begin
+        Fmt.epr
+          "%s is a network snapshot; resume only reboots kernel snapshots. \
+           Restore it with Snapshot.restore_net onto a network re-created \
+           with the capture-time parameters@."
+          file;
+        exit 1
+      end;
       (match Snapshot.programs s with
        | [] ->
          Fmt.epr "%s records no program names; cannot re-create the host@." file;
@@ -375,6 +383,98 @@ let fault_cmd =
     Term.(const exec $ progs_arg $ trials $ faults $ seed $ disruptive
           $ interp $ budget $ injects $ trace $ out)
 
+(* fleet: run the sense-and-send fleet workload at scale *)
+let fleet_cmd =
+  let motes =
+    Arg.(value & opt int 100
+         & info [ "motes"; "n" ] ~doc:"Number of motes in the fleet.")
+  in
+  let topology =
+    Arg.(value
+         & opt (enum [ ("line", `Line); ("grid", `Grid); ("rgg", `Rgg) ]) `Grid
+         & info [ "topology" ]
+             ~doc:"Deployment shape: line, grid, or rgg (seeded random \
+                   geometric).")
+  in
+  let cols =
+    Arg.(value & opt int 32
+         & info [ "cols" ] ~doc:"Grid columns (grid topology).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Placement seed (rgg topology).")
+  in
+  let radius =
+    Arg.(value & opt int 60
+         & info [ "radius" ]
+             ~doc:"Connectivity radius on the 1000x1000 square (rgg \
+                   topology).")
+  in
+  let loss =
+    Arg.(value & opt int 100
+         & info [ "loss" ] ~doc:"Per-byte loss rate in permille.")
+  in
+  let periods =
+    Arg.(value & opt int 12
+         & info [ "periods" ]
+             ~doc:"Sense-and-send periods each mote runs (one per Timer0 \
+                   overflow, 262144 cycles).")
+  in
+  let copies =
+    Arg.(value & opt int 2
+         & info [ "copies" ] ~doc:"Blind retransmissions per packet.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~doc:"Domains to step motes across.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Also save a whole-fleet snapshot (shared flash images \
+                   are stored once).")
+  in
+  let exec motes topology cols seed radius loss periods copies domains out =
+    let topology =
+      match topology with
+      | `Line -> Workloads.Fleet.Line
+      | `Grid -> Workloads.Fleet.Grid cols
+      | `Rgg -> Workloads.Fleet.Random_geometric { seed; radius }
+    in
+    let net =
+      Workloads.Fleet.create ~loss_permille:loss ~periods ~copies ~topology
+        motes
+    in
+    let t0 = Unix.gettimeofday () in
+    let live =
+      Net.run ~max_cycles:(Workloads.Fleet.horizon ~periods) ~domains net
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Workloads.Fleet.stats ~live net in
+    Fmt.pr "%a@." Workloads.Fleet.pp_stats stats;
+    let mote_cycles =
+      Array.fold_left
+        (fun acc (n : Net.node) -> acc + n.kernel.m.cycles)
+        0 net.nodes
+    in
+    Fmt.pr "%.2f s wall, %.1fM mote-cycles/s@." wall
+      (float_of_int mote_cycles /. wall /. 1e6);
+    match out with
+    | None -> ()
+    | Some path ->
+      let s = Snapshot.of_net ~programs:[ "fleet" ] net in
+      Snapshot.save path s;
+      let bytes = String.length (Snapshot.to_string s) in
+      Fmt.pr "%s: %s (%d bytes, %d per mote)@." path (Snapshot.describe s)
+        bytes (bytes / max 1 motes)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Run the sense-and-send fleet workload on a generated \
+             topology")
+    Term.(const exec $ motes $ topology $ cols $ seed $ radius $ loss
+          $ periods $ copies $ domains $ out)
+
 (* compile: minic source file -> run or disassemble *)
 let compile_cmd =
   let file =
@@ -497,5 +597,5 @@ let () =
        (Cmd.group info
           [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
             resume_cmd; bisect_cmd; trace_cmd; stats_cmd; fault_cmd;
-            compile_cmd; table1;
+            fleet_cmd; compile_cmd; table1;
             table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

@@ -360,14 +360,23 @@ let handle_syscall k _m n =
 
 (* --- boot ----------------------------------------------------------------- *)
 
-(** Naturalize and admit [images] onto a fresh mote.  Raises
-    {!Admission_failure} when the programs' heaps plus initial stacks do
-    not fit the application area, or the naturalized code overflows
-    flash. *)
-let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
-    ?trace ?(mote = 0) (images : Asm.Image.t list) : t =
-  let trace = match trace with Some tr -> tr | None -> Trace.create () in
-  (* Place naturalized programs sequentially in flash. *)
+(** A prepared boot recipe: the naturalized programs and one fully
+    populated 64 K-word flash image, reusable across any number of
+    motes.  {!boot_from} aliases the image copy-on-write
+    ({!Machine.Cpu.create_shared}), so a 10 000-mote fleet of one
+    program costs one flash array instead of 10 000. *)
+type template = {
+  t_config : config;
+  t_nats : Naturalized.t list;
+  t_flash : int array;  (** full [Layout.flash_words] image, nats placed *)
+  t_next_flash : int;  (** first free flash word after the placed nats *)
+}
+
+(** Naturalize [images] (sequential flash placement, as {!boot}) and
+    bake the shared flash image.  Raises {!Admission_failure} when the
+    naturalized code overflows flash. *)
+let prepare ?(config = default_config) ?(rewrite = Rewrite.default_config)
+    (images : Asm.Image.t list) : template =
   let nats, _ =
     List.fold_left
       (fun (acc, base) img ->
@@ -382,8 +391,28 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
      let last = List.nth nats (List.length nats - 1) in
      if last.base + Naturalized.total_words last > Machine.Layout.flash_words then
        raise (Admission_failure "program memory exhausted"));
-  let m = Machine.Cpu.create () in
-  List.iter (fun (nat : Naturalized.t) -> Machine.Cpu.load ~at:nat.base m nat.words) nats;
+  let flash = Array.make Machine.Layout.flash_words 0xFFFF in
+  List.iter
+    (fun (nat : Naturalized.t) ->
+      Array.blit nat.words 0 flash nat.base (Array.length nat.words))
+    nats;
+  let next_flash =
+    List.fold_left
+      (fun a (nat : Naturalized.t) -> max a (nat.base + Naturalized.total_words nat))
+      0 nats
+  in
+  { t_config = config; t_nats = nats; t_flash = flash; t_next_flash = next_flash }
+
+(** Boot one mote from a prepared template.  Byte-identical to {!boot}
+    with the template's config and images, except the mote's flash
+    aliases the template image until the first runtime flash write
+    (copy-on-write).  Raises {!Admission_failure} when the programs'
+    heaps plus initial stacks do not fit the application area. *)
+let boot_from ?trace ?(mote = 0) (tpl : template) : t =
+  let config = tpl.t_config in
+  let nats = tpl.t_nats in
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let m = Machine.Cpu.create_shared tpl.t_flash in
   (* Carve out data regions. *)
   let stats =
     { traps = 0; context_switches = 0; relocations = 0; relocated_bytes = 0;
@@ -432,14 +461,9 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
           mark_cycles = 0; mark_insns = 0 })
       nats
   in
-  let next_flash =
-    List.fold_left
-      (fun a (nat : Naturalized.t) -> max a (nat.base + Naturalized.total_words nat))
-      0 nats
-  in
   let k =
-    { m; cfg = config; tasks; current = None; slice_start = 0; next_flash;
-      app_limit; stats; trace; mote }
+    { m; cfg = config; tasks; current = None; slice_start = 0;
+      next_flash = tpl.t_next_flash; app_limit; stats; trace; mote }
   in
   (* Initialize each task's heap contents and TCB. *)
   List.iter
@@ -461,6 +485,13 @@ let boot ?(config = default_config) ?(rewrite = Rewrite.default_config)
   m.on_syscall <- Some (handle_syscall k);
   schedule k;
   k
+
+(** Naturalize and admit [images] onto a fresh mote ({!prepare} then
+    {!boot_from}).  Raises {!Admission_failure} when the programs' heaps
+    plus initial stacks do not fit the application area, or the
+    naturalized code overflows flash. *)
+let boot ?config ?rewrite ?trace ?mote (images : Asm.Image.t list) : t =
+  boot_from ?trace ?mote (prepare ?config ?rewrite images)
 
 (* --- crash and watchdog reboot ------------------------------------------- *)
 

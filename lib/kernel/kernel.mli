@@ -75,10 +75,34 @@ val find_task : t -> int -> Task.t
     networked kernel this includes sibling motes' events). *)
 val event_log : t -> Trace.event list
 
-(** Naturalize and admit the images onto a fresh mote.  Raises
-    {!Admission_failure} when heaps plus minimum stacks do not fit.
-    [trace] shares an existing sink (e.g. the network's); [mote]
-    (default 0) stamps this kernel's events. *)
+(** A prepared boot recipe: naturalized programs plus one fully
+    populated 64 K-word flash image, reusable across any number of
+    motes.  {!boot_from} aliases the image copy-on-write (see
+    {!Machine.Cpu.create_shared}), so a fleet of same-program motes
+    shares a single flash array until a mote first writes its flash. *)
+type template
+
+(** Naturalize the images (sequential flash placement, exactly as
+    {!boot}) and bake the shared flash image once.  Raises
+    {!Admission_failure} when the naturalized code overflows flash. *)
+val prepare :
+  ?config:config ->
+  ?rewrite:Rewriter.Rewrite.config ->
+  Asm.Image.t list ->
+  template
+
+(** Boot one mote from a prepared template — byte-identical to {!boot}
+    with the same config and images, except the mote's flash aliases
+    the shared template image (copy-on-write).  [trace] shares an
+    existing sink (e.g. the network's); [mote] (default 0) stamps this
+    kernel's events.  Raises {!Admission_failure} when heaps plus
+    minimum stacks do not fit. *)
+val boot_from : ?trace:Trace.t -> ?mote:int -> template -> t
+
+(** Naturalize and admit the images onto a fresh mote ({!prepare} then
+    {!boot_from}).  Raises {!Admission_failure} when heaps plus minimum
+    stacks do not fit.  [trace] shares an existing sink (e.g. the
+    network's); [mote] (default 0) stamps this kernel's events. *)
 val boot :
   ?config:config ->
   ?rewrite:Rewriter.Rewrite.config ->

@@ -34,8 +34,15 @@ val pp_halt : Format.formatter -> halt -> unit
 val pp_stop : Format.formatter -> stop -> unit
 
 type t = State.t = {
-  flash : int array;  (** 64 K words of program memory *)
-  code : Avr.Isa.t option array;  (** lazy decode cache *)
+  mutable flash : int array;
+      (** 64 K words of program memory; possibly an alias of a template
+          image shared with sibling motes (see {!create_shared}) —
+          {!load} copies it before the first write (copy-on-write) *)
+  mutable flash_shared : bool;
+      (** whether [flash] currently aliases a shared template image *)
+  code : Avr.Isa.t option array array;
+      (** lazy decode cache, chunked [pc lsr 8][pc land 0xFF] with
+          copy-on-write chunks like [blocks] *)
   sram : Bytes.t;  (** the full data space of {!Layout} *)
   io : Io.t;
   regs : int array;  (** r0..r31, each 0..255 *)
@@ -72,13 +79,31 @@ and block = State.block = { exec : t -> int -> bool; worst : int }
 
 val create : ?flash:int array -> unit -> t
 
+(** [create_shared flash] makes a machine whose flash {e aliases} the
+    full-length image [flash] (exactly [Layout.flash_words] words;
+    {!Flash_overflow} otherwise) instead of copying it.  Booting N motes
+    of the same program from one prepared image costs one flash array
+    total; the first runtime flash write through {!load} copies the
+    image privately first (copy-on-write), so sharing is architecturally
+    invisible.  Callers must not mutate [flash] afterwards. *)
+val create_shared : int array -> t
+
+(** [adopt_flash m flash] replaces [m]'s entire flash with an alias of
+    the full-length image [flash] (copy-on-write, as {!create_shared})
+    and invalidates the decode and compiled-block caches wholesale.
+    Snapshot restore uses this to re-establish structural sharing
+    between motes of the same program. *)
+val adopt_flash : t -> int array -> unit
+
 (** [load ?at m image] copies [image] into flash at word address [at]
     (default 0) and invalidates the decode cache and the compiled-block
     cache over every entry that can overlap the written range (including
     a cached 2-word instruction starting at [at - 1]).  This is the only
     flash-write path, so self-modifying code — the kernel's trampoline
-    patching — always observes its new code in both execution tiers.
-    Raises {!Flash_overflow} when the image does not fit in flash. *)
+    patching — always observes its new code in both execution tiers, and
+    a mote sharing a template image ({!create_shared}) copies it before
+    the write lands.  Raises {!Flash_overflow} when the image does not
+    fit in flash. *)
 val load : ?at:int -> t -> int array -> unit
 
 (** Cycles spent executing (total minus idle). *)

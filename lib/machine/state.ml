@@ -47,8 +47,17 @@ let fh = 5
 let fi = 7
 
 type t = {
-  flash : int array;
-  code : Isa.t option array; (* lazy decode cache, indexed by word address *)
+  mutable flash : int array;
+      (* 64 K words of program memory.  May be an alias of an image
+         shared by every mote booted from the same program template
+         ([flash_shared]); the first write through [load] copies it, so
+         sharing is invisible to programs (copy-on-write). *)
+  mutable flash_shared : bool;
+  code : Isa.t option array array;
+      (* lazy decode cache, chunked [pc lsr 8][pc land 0xFF] like
+         [blocks]; chunks start as the shared [no_code_chunk] and are
+         copied on first write, so an idle mote's cache costs one small
+         top-level array instead of 512 KB. *)
   sram : Bytes.t; (* full data space, I/O shadow included *)
   io : Io.t;
   regs : int array; (* r0..r31, each 0..255 *)
@@ -88,8 +97,9 @@ and block = { exec : t -> int -> bool; worst : int }
 let chunk_words = 256
 let chunk_count = Layout.flash_words / chunk_words
 
-(* The shared all-empty chunk; never written (copy-on-write). *)
+(* The shared all-empty chunks; never written (copy-on-write). *)
 let no_chunk : block option array = Array.make chunk_words None
+let no_code_chunk : Isa.t option array = Array.make chunk_words None
 
 (* Longest flash span (in words) one compiled block may cover.  [load]
    invalidates this many words before the written range, so any cached
@@ -100,7 +110,8 @@ let create ?(flash = [||]) () =
   let fl = Array.make Layout.flash_words 0xFFFF in
   Array.blit flash 0 fl 0 (Array.length flash);
   { flash = fl;
-    code = Array.make Layout.flash_words None;
+    flash_shared = false;
+    code = Array.make chunk_count no_code_chunk;
     sram = Bytes.make Layout.data_size '\000';
     io = Io.create ();
     regs = Array.make 32 0;
@@ -121,21 +132,40 @@ let create ?(flash = [||]) () =
     trace = None;
     blocks = [||] }
 
+(* Invalidate the decode cache over word range [lo, hi) (chunk-wise:
+   shared empty chunks are already invalid and are skipped). *)
+let invalidate_code m lo hi =
+  if hi > lo then
+    for ci = lo lsr 8 to (hi - 1) lsr 8 do
+      let chunk = m.code.(ci) in
+      if chunk != no_code_chunk then begin
+        let base = ci * chunk_words in
+        let a = max lo base and b = min hi (base + chunk_words) in
+        Array.fill chunk (a - base) (b - a) None
+      end
+    done
+
 (** Copy a program image into flash at word address [at] (default 0) and
     invalidate the decode cache over the written range.  The word before
     [at] is invalidated too: a cached 2-word instruction starting at
     [at - 1] would otherwise keep its stale operand word.  Compiled
     blocks are invalidated over [at - max_block_span, at + length), which
-    covers every block that can overlap the write.  Raises
+    covers every block that can overlap the write.  When the flash is a
+    shared template image ({!create_shared}/{!adopt_flash}) it is copied
+    first, so the write never leaks into sibling motes.  Raises
     {!Flash_overflow} when the image does not fit the flash. *)
 let load ?(at = 0) m (image : int array) =
   let words = Array.length image in
   if at < 0 || words > Layout.flash_words - at then
     raise (Flash_overflow { at; words });
+  if m.flash_shared then begin
+    m.flash <- Array.copy m.flash;
+    m.flash_shared <- false
+  end;
   Array.blit image 0 m.flash at words;
   let lo = max 0 (at - 1) in
-  let hi = min (Array.length m.code) (at + words) in
-  Array.fill m.code lo (hi - lo) None;
+  let hi = min Layout.flash_words (at + words) in
+  invalidate_code m lo hi;
   if Array.length m.blocks > 0 then begin
     let blo = max 0 (at - max_block_span) in
     for w = blo to hi - 1 do
@@ -143,6 +173,32 @@ let load ?(at = 0) m (image : int array) =
       if chunk != no_chunk then Array.unsafe_set chunk (w land 0xFF) None
     done
   end
+
+(** A machine whose flash {e aliases} [flash] (which must be a full
+    [Layout.flash_words]-long image) instead of copying it.  Booting N
+    motes from one prepared image this way costs one flash array total;
+    the first runtime flash write through {!load} copies privately
+    (copy-on-write).  Callers must not mutate [flash] afterwards. *)
+let create_shared flash =
+  if Array.length flash <> Layout.flash_words then
+    raise (Flash_overflow { at = 0; words = Array.length flash });
+  let m = create () in
+  m.flash <- flash;
+  m.flash_shared <- true;
+  m
+
+(** Replace [m]'s entire flash with an alias of [flash] (full-length,
+    as in {!create_shared}) and invalidate both execution-tier caches
+    wholesale.  Snapshot restore uses this to re-establish structural
+    sharing between motes of the same program. *)
+let adopt_flash m flash =
+  if Array.length flash <> Layout.flash_words then
+    raise (Flash_overflow { at = 0; words = Array.length flash });
+  m.flash <- flash;
+  m.flash_shared <- true;
+  Array.fill m.code 0 chunk_count no_code_chunk;
+  if Array.length m.blocks > 0 then
+    Array.fill m.blocks 0 chunk_count no_chunk
 
 let active_cycles m = m.cycles - m.idle_cycles
 
@@ -381,11 +437,22 @@ let ptr_addr m = function
   | Z_dec -> let a = (zreg m - 1) land 0xFFFF in set_zreg m a; a
 
 let fetch_decode m pc =
-  match m.code.(pc) with
+  let chunk = Array.unsafe_get m.code (pc lsr 8) in
+  match Array.unsafe_get chunk (pc land 0xFF) with
   | Some i -> i
   | None ->
     (match Decode.at (fun a -> m.flash.(a land 0xFFFF)) pc with
-     | i, _ -> m.code.(pc) <- Some i; i
+     | i, _ ->
+       let chunk =
+         if chunk != no_code_chunk then chunk
+         else begin
+           let fresh = Array.make chunk_words None in
+           m.code.(pc lsr 8) <- fresh;
+           fresh
+         end
+       in
+       chunk.(pc land 0xFF) <- Some i;
+       i
      | exception Decode.Unknown_opcode w ->
        m.halted <- Some (Invalid_opcode (pc, w));
        Isa.Nop)

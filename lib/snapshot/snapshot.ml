@@ -21,16 +21,21 @@
    at cycle c, restore, run to cycle d  ==  run uninterrupted to d —
    byte-identical counters, events and machine state, in both execution
    tiers and at any domain count.  Restoring flash routes through
-   {!Machine.Cpu.load}, the single flash-write path, so the decode
-   cache and the tier-1 compiled-block table are invalidated and
-   rebuilt rather than leaking closures compiled against the old
-   image. *)
+   {!Machine.Cpu.adopt_flash}, which invalidates the decode cache and
+   the tier-1 compiled-block table wholesale — stale closures compiled
+   against the old image are rebuilt, never leaked — and re-establishes
+   copy-on-write sharing between motes restored from the same image. *)
 
 exception Incompatible of string
 
 let incompatible fmt = Printf.ksprintf (fun s -> raise (Incompatible s)) fmt
 
-let format_version = 1
+(* Version 2 (PR 6): network payloads store each distinct flash image
+   once in a content-addressed "flash" section and per-mote indices into
+   it, so a 10k-mote fleet of one program serializes one 64 K-word image
+   instead of 10 000; the net record also carries the consecutive-loss
+   histogram.  Version-1 files are refused (documented break). *)
+let format_version = 2
 let magic = "SENSNAP0"
 
 (* --- captured-state records (plain data, no closures) -------------------- *)
@@ -127,6 +132,8 @@ type net = {
   net_routed : int;
   net_dropped : int;
   net_quanta : int;
+  net_streak : int;
+  net_streaks : int array;
   net_trace : Trace.dump;
 }
 
@@ -175,7 +182,10 @@ let capture_io (io : Machine.Io.t) : io =
     temp = io.temp }
 
 let capture_machine (m : Machine.Cpu.t) : machine =
-  { flash = Array.copy m.flash;
+  (* A shared template flash is immutable by the copy-on-write contract
+     ({!Machine.Cpu.create_shared}), so aliasing it is safe — and it is
+     what lets the serializer emit each fleet-shared image once. *)
+  { flash = (if m.flash_shared then m.flash else Array.copy m.flash);
     sram = Bytes.copy m.sram;
     regs = Array.copy m.regs;
     pc = m.pc;
@@ -262,6 +272,8 @@ let of_net ?(programs = []) (n : Net.t) : t =
           net_routed = n.routed;
           net_dropped = n.dropped;
           net_quanta = n.quanta;
+          net_streak = n.streak;
+          net_streaks = Array.copy n.streaks;
           net_trace = Trace.dump n.trace } }
 
 (* --- restore -------------------------------------------------------------- *)
@@ -288,10 +300,12 @@ let restore_machine_state (s : machine) (m : Machine.Cpu.t) =
       (Bytes.length s.sram) (Bytes.length m.sram);
   if Array.length s.regs <> 32 then
     incompatible "snapshot register file has %d registers" (Array.length s.regs);
-  (* The one and only flash-write path: invalidates the decode cache and
-     the tier-1 compiled-block table over the whole image, so stale
-     closures are rebuilt, never leaked, after a restore. *)
-  Machine.Cpu.load m s.flash;
+  (* Adopt the snapshot's image copy-on-write: both execution-tier
+     caches are invalidated wholesale (stale closures are rebuilt, never
+     leaked), and motes restored from the same decoded image keep
+     sharing one flash array — restore re-establishes the fleet's
+     structural sharing instead of expanding it. *)
+  Machine.Cpu.adopt_flash m s.flash;
   Bytes.blit s.sram 0 m.sram 0 (Bytes.length s.sram);
   Array.blit s.regs 0 m.regs 0 32;
   m.pc <- s.pc;
@@ -410,6 +424,11 @@ let restore_net (s : t) (n : Net.t) =
     n.routed <- ns.net_routed;
     n.dropped <- ns.net_dropped;
     n.quanta <- ns.net_quanta;
+    n.streak <- ns.net_streak;
+    if Array.length ns.net_streaks <> Array.length n.streaks then
+      incompatible "snapshot loss-streak histogram has %d buckets, target %d"
+        (Array.length ns.net_streaks) (Array.length n.streaks);
+    Array.blit ns.net_streaks 0 n.streaks 0 (Array.length n.streaks);
     Trace.restore n.trace ns.net_trace
 
 (* --- serialization -------------------------------------------------------- *)
@@ -458,8 +477,12 @@ let r_io r : io =
   { adc_enabled; adc_start; adc_value; adc_seq; tov0_epoch; radio_busy_until;
     radio_tx; radio_rx; radio_tx_count; temp }
 
-let w_machine b (m : machine) =
-  W.u16_array b m.flash;
+(* Machine (de)serialization is parameterized over the flash codec:
+   standalone payloads embed the image inline ([W.u16_array]), network
+   payloads write an index into the snapshot's content-addressed flash
+   table so each distinct image is emitted once. *)
+let w_machine ?(w_flash = W.u16_array) b (m : machine) =
+  w_flash b m.flash;
   W.bytes b m.sram;
   W.int_array b m.regs;
   W.int b m.pc;
@@ -477,8 +500,8 @@ let w_machine b (m : machine) =
   W.int b m.preempt_at;
   w_io b m.io
 
-let r_machine r : machine =
-  let flash = R.u16_array r in
+let r_machine ?(r_flash = R.u16_array) r : machine =
+  let flash = r_flash r in
   let sram = R.bytes r in
   let regs = R.int_array r in
   let pc = R.int r in
@@ -560,16 +583,16 @@ let r_stats r : kstats =
       s_preempt_delay_max; s_preempt_switches }
   | a -> corrupt "bad stats block (%d fields)" (Array.length a)
 
-let w_kernel b (k : kernel) =
-  w_machine b k.k_machine;
+let w_kernel ?w_flash b (k : kernel) =
+  w_machine ?w_flash b k.k_machine;
   W.list b w_task k.k_tasks;
   W.option b W.int k.k_current;
   W.int b k.k_slice_start;
   W.int b k.k_next_flash;
   w_stats b k.k_stats
 
-let r_kernel r : kernel =
-  let k_machine = r_machine r in
+let r_kernel ?r_flash r : kernel =
+  let k_machine = r_machine ?r_flash r in
   let k_tasks = R.list r r_task in
   let k_current = R.option r R.int in
   let k_slice_start = R.int r in
@@ -601,44 +624,79 @@ let r_trace r : Trace.dump =
   in
   { d_events; d_overflow; d_counters }
 
-let w_nnode b (n : nnode) =
+let w_nnode ?w_flash b (n : nnode) =
   W.int b n.n_id;
-  w_kernel b n.n_kernel;
+  w_kernel ?w_flash b n.n_kernel;
   w_trace b n.n_sink;
   W.list b W.int n.n_neighbours;
   W.bool b n.n_finished
 
-let r_nnode r : nnode =
+let r_nnode ?r_flash r : nnode =
   let n_id = R.int r in
-  let n_kernel = r_kernel r in
+  let n_kernel = r_kernel ?r_flash r in
   let n_sink = r_trace r in
   let n_neighbours = R.list r R.int in
   let n_finished = R.bool r in
   { n_id; n_kernel; n_sink; n_neighbours; n_finished }
 
-let w_net b (n : net) =
+let w_net ?w_flash b (n : net) =
   W.int b n.net_quantum;
   W.int b n.net_latency;
   W.int b n.net_loss_permille;
-  W.list b w_nnode n.net_nodes;
+  W.list b (w_nnode ?w_flash) n.net_nodes;
   W.int b n.net_loss_state;
   W.int b n.net_routed;
   W.int b n.net_dropped;
   W.int b n.net_quanta;
+  W.int b n.net_streak;
+  W.int_array b n.net_streaks;
   w_trace b n.net_trace
 
-let r_net r : net =
+let r_net ?r_flash r : net =
   let net_quantum = R.int r in
   let net_latency = R.int r in
   let net_loss_permille = R.int r in
-  let net_nodes = R.list r r_nnode in
+  let net_nodes = R.list r (r_nnode ?r_flash) in
   let net_loss_state = R.int r in
   let net_routed = R.int r in
   let net_dropped = R.int r in
   let net_quanta = R.int r in
+  let net_streak = R.int r in
+  let net_streaks = R.int_array r in
   let net_trace = r_trace r in
   { net_quantum; net_latency; net_loss_permille; net_nodes; net_loss_state;
-    net_routed; net_dropped; net_quanta; net_trace }
+    net_routed; net_dropped; net_quanta; net_streak; net_streaks; net_trace }
+
+(* The content-addressed flash table of a network payload.  Capture
+   aliases shared template images ({!capture_machine}), so a fleet of N
+   same-program motes reaches here with N physically-equal flash
+   pointers — the [==] probe dedups them in O(images); the structural
+   fallback also merges images that were copied apart (e.g. a mote that
+   triggered copy-on-write and then wrote the very same words back). *)
+let flash_table (nodes : nnode list) : int array list * (int array -> int) =
+  let images = ref [] and count = ref 0 in
+  let index_of fl =
+    (* Physical equality is the fast path (a fleet's shared template
+       images all alias one array); the structural test also merges
+       images copied apart whose words ended up identical.  The table
+       never holds structural duplicates, so the first hit is the
+       canonical entry. *)
+    let rec scan i = function
+      | [] -> None
+      | x :: rest -> if x == fl || x = fl then Some i else scan (i + 1) rest
+    in
+    match scan 0 !images with
+    | Some i -> i
+    | None ->
+      images := !images @ [ fl ];
+      let i = !count in
+      Stdlib.incr count;
+      i
+  in
+  (* Walk in node order so image indices are deterministic. *)
+  List.iter (fun (n : nnode) -> ignore (index_of n.n_kernel.k_machine.flash))
+    nodes;
+  (!images, index_of)
 
 let to_string (s : t) : string =
   let b = Buffer.create (1 lsl 16) in
@@ -654,7 +712,14 @@ let to_string (s : t) : string =
    | P_kernel (k, tr) ->
      w_section b "kernel" (fun b -> w_kernel b k);
      w_section b "trace" (fun b -> w_trace b tr)
-   | P_net n -> w_section b "net" (fun b -> w_net b n));
+   | P_net n ->
+     (* Content-addressed flash: each distinct image once in its own
+        section, motes hold indices.  A 10k-mote single-program fleet
+        serializes one 64 K-word image instead of 10 000. *)
+     let images, index_of = flash_table n.net_nodes in
+     w_section b "flash" (fun b -> W.list b W.u16_array images);
+     w_section b "net" (fun b ->
+         w_net ~w_flash:(fun b fl -> W.int b (index_of fl)) b n));
   Buffer.contents b
 
 let of_string (data : string) : (t, string) result =
@@ -680,7 +745,21 @@ let of_string (data : string) : (t, string) result =
       match R.u8 meta with
       | 0 -> P_machine (r_machine (section "machine"))
       | 1 -> P_kernel (r_kernel (section "kernel"), r_trace (section "trace"))
-      | 2 -> P_net (r_net (section "net"))
+      | 2 ->
+        (* Decode the image table first; motes then read indices into
+           it.  Same-index motes share the one decoded array, so restore
+           re-establishes the fleet's structural flash sharing. *)
+        let images =
+          Array.of_list (R.list (section "flash") R.u16_array)
+        in
+        let r_flash r =
+          let i = R.int r in
+          if i < 0 || i >= Array.length images then
+            corrupt "flash image index %d out of range (%d images)" i
+              (Array.length images);
+          images.(i)
+        in
+        P_net (r_net ~r_flash (section "net"))
       | k -> corrupt "unknown payload kind %d" k
     in
     Ok { at; programs; payload }
@@ -912,6 +991,8 @@ let diff_net (a : net) (b : net) acc =
     |> s "net.routed" a.net_routed b.net_routed
     |> s "net.dropped" a.net_dropped b.net_dropped
     |> s "net.quanta" a.net_quanta b.net_quanta
+    |> s "net.streak" a.net_streak b.net_streak
+    |> diff_array "" "net.loss_streaks" a.net_streaks b.net_streaks
   in
   let acc =
     if List.length a.net_nodes <> List.length b.net_nodes then

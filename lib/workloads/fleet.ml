@@ -1,0 +1,166 @@
+(* Telosb-style sense-and-send fleet workload.
+
+   Every mote runs the same minic program — which is exactly what makes
+   the fleet cheap: [Net.create] groups the physically-equal image
+   lists onto one {!Kernel.template}, so N motes share one
+   copy-on-write flash image and the snapshot serializes it once.
+
+   The program is the classic low-power sensing loop: sleep until the
+   next Timer0 overflow (one "period" = 262 144 cycles), drain whatever
+   the radio delivered meanwhile, take one ADC sample per period into a
+   small ring buffer, and every other period transmit the oldest queued
+   sample as a 3-byte packet ([0x55], sequence, value) repeated
+   [copies] times (blind retransmission, the simplest loss hedge).
+   Sampling at twice the drain rate makes the queue overflow
+   deterministically once it fills — the per-mote [overflow] counter is
+   the workload's honest congestion signal, [retrans] its radio-energy
+   proxy, and [heard] counts bytes received from neighbours.
+
+   All counters live in program globals read back via
+   {!Kernel.read_var}, and [stats] aggregates them across the fleet
+   into a handful of [fleet.*] numbers instead of publishing O(motes)
+   per-mote counter keys. *)
+
+let queue_cap = 16
+
+let source ~periods ~copies =
+  Printf.sprintf
+    {|
+  var seq;
+  var sent;
+  var retrans;
+  var overflow;
+  var heard;
+  var last;
+  var qlen;
+  var qhead;
+  var qtail;
+  var c;
+  var q[%d];
+  fun main() {
+    seq = 0;
+    while (seq < %d) {
+      while (radio_avail()) {
+        last = radio_recv();
+        heard = heard + 1;
+      }
+      if (io_in(0x36)) {
+        io_out(0x36, 1);
+        if (qlen < %d) {
+          q[qtail] = (adc() >> 2) & 0xFF;
+          qtail = (qtail + 1) & %d;
+          qlen = qlen + 1;
+        } else {
+          overflow = overflow + 1;
+        }
+        if ((seq & 1) == 1) {
+          if (qlen > 0) {
+            c = 0;
+            while (c < %d) {
+              radio_send(0x55);
+              radio_send(seq & 0xFF);
+              radio_send(q[qhead]);
+              c = c + 1;
+            }
+            retrans = (retrans + %d) - 1;
+            qhead = (qhead + 1) & %d;
+            qlen = qlen - 1;
+            sent = sent + 1;
+          }
+        }
+        seq = seq + 1;
+      }
+      sleep;
+    }
+    halt;
+  }
+|}
+    queue_cap periods queue_cap (queue_cap - 1) copies copies (queue_cap - 1)
+
+(** One compiled sense-and-send image; [periods] Timer0-overflow
+    periods of activity, each packet sent [copies] times. *)
+let image ?(periods = 12) ?(copies = 2) () =
+  Minic.Codegen.compile_source ~name:"fleet" (source ~periods ~copies)
+
+(** Cycles one [image ~periods] mote needs to run to completion (one
+    period per Timer0 overflow, plus one overflow of slack for the
+    final drain). *)
+let horizon ~periods =
+  (periods + 1) * Machine.Io.timer0_overflow_period
+
+type topology =
+  | Line
+  | Grid of int  (** columns *)
+  | Random_geometric of { seed : int; radius : int }
+
+let edges topology n =
+  match topology with
+  | Line -> Net.Topology.line n
+  | Grid cols -> Net.Topology.grid ~cols n
+  | Random_geometric { seed; radius } ->
+    Net.Topology.random_geometric ~seed ~radius n
+
+(** Boot [n] motes of one shared sense-and-send image over [topology].
+    Per-mote trace sinks default to a small ring ([sink_capacity],
+    default 64) so a 10k-mote fleet does not allocate 10k full-size
+    event buffers. *)
+let create ?quantum ?latency ?(loss_permille = 0) ?(periods = 12)
+    ?(copies = 2) ?trace ?(sink_capacity = 64) ~topology n =
+  let img = image ~periods ~copies () in
+  let net =
+    Net.create ?quantum ?latency ~loss_permille ?trace ~sink_capacity
+      (List.init n (fun _ -> [ img ]))
+  in
+  Net.link_all net (edges topology n);
+  net
+
+type stats = {
+  motes : int;
+  live : int;  (** motes still running when the horizon hit *)
+  sent : int;  (** distinct packets transmitted, fleet-wide *)
+  retrans : int;  (** redundant copies beyond the first *)
+  overflow : int;  (** samples lost to full queues *)
+  heard : int;  (** bytes received across all motes *)
+  routed : int;
+  dropped : int;
+  quanta : int;
+}
+
+(** Aggregate the fleet's program counters ([live] from a prior
+    {!Net.run} return). *)
+let stats ?(live = 0) (net : Net.t) : stats =
+  let sum name =
+    Array.fold_left
+      (fun acc (n : Net.node) -> acc + Kernel.read_var n.kernel 0 name)
+      0 net.nodes
+  in
+  { motes = Array.length net.nodes;
+    live;
+    sent = sum "sent";
+    retrans = sum "retrans";
+    overflow = sum "overflow";
+    heard = sum "heard";
+    routed = net.routed;
+    dropped = net.dropped;
+    quanta = net.quanta }
+
+(** Publish the aggregate as [fleet.*] counters — O(1) keys however
+    large the fleet (contrast {!Net.publish_counters}). *)
+let publish tr (s : stats) =
+  Trace.set_counter tr "fleet.motes" s.motes;
+  Trace.set_counter tr "fleet.live" s.live;
+  Trace.set_counter tr "fleet.sent" s.sent;
+  Trace.set_counter tr "fleet.retrans" s.retrans;
+  Trace.set_counter tr "fleet.overflow" s.overflow;
+  Trace.set_counter tr "fleet.heard" s.heard;
+  Trace.set_counter tr "fleet.routed" s.routed;
+  Trace.set_counter tr "fleet.dropped" s.dropped;
+  Trace.set_counter tr "fleet.quanta" s.quanta
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d motes (%d still live): sent %d packets (+%d retransmissions), \
+     %d sample overflows, heard %d bytes; net routed %d dropped %d over %d \
+     quanta"
+    s.motes s.live s.sent s.retrans s.overflow s.heard s.routed s.dropped
+    s.quanta

@@ -163,6 +163,35 @@ let collect ?(window = 2_000_000) () : Trace.t =
   if fault_plain > 0.0 then
     Trace.set_counter trace "host.fault_overhead_pct"
       (int_of_float ((fault_run -. fault_plain) *. 100.0 /. fault_plain));
+  (* Fleet-scale stepping: a 100-mote lossy sense-and-send campaign on
+     a grid (shared copy-on-write flash, event-driven scheduler).  The
+     "fleet.*" aggregates are deterministic and machine-independent;
+     the "host.fleet_*" pair is what scripts/bench_diff.sh gates —
+     sustained simulated mote-cycles per wall second, and the
+     per-mote cost of a whole-fleet snapshot (content-addressed flash
+     makes it KBs, not the 141 KB a naive capture would take). *)
+  let fleet_motes = 100 and fleet_periods = 4 in
+  let fleet =
+    Fleet.create ~loss_permille:100 ~periods:fleet_periods
+      ~topology:(Fleet.Grid 10) fleet_motes
+  in
+  let t0 = Unix.gettimeofday () in
+  let live =
+    Net.run ~max_cycles:(Fleet.horizon ~periods:fleet_periods) fleet
+  in
+  let fleet_wall = Unix.gettimeofday () -. t0 in
+  Fleet.publish trace (Fleet.stats ~live fleet);
+  let mote_cycles =
+    Array.fold_left
+      (fun acc (n : Net.node) -> acc + n.kernel.m.cycles)
+      0 fleet.nodes
+  in
+  if fleet_wall > 0.0 then
+    Trace.set_counter trace "host.fleet_mote_cycles_per_sec"
+      (int_of_float (float_of_int mote_cycles /. fleet_wall));
+  let fleet_snap = Snapshot.to_string (Snapshot.of_net fleet) in
+  Trace.set_counter trace "host.fleet_snapshot_bytes_per_mote"
+    (String.length fleet_snap / fleet_motes);
   host_throughput trace;
   Trace.set_counter trace "host.wall_ms"
     (int_of_float ((Unix.gettimeofday () -. started) *. 1000.0));

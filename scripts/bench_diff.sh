@@ -8,6 +8,9 @@
 #   host.*_per_sec   performance gate: a drop of more than
 #                    $BENCH_DIFF_THRESHOLD percent (default 10) against
 #                    the baseline is a REGRESSION -> exit 1.
+#   host.*_bytes_per_mote
+#                    size gate, lower is better: a growth of more than
+#                    the same threshold is a REGRESSION -> exit 1.
 #   host.*           everything else host-side (wall clock) is
 #                    informational; it depends on machine load.
 #   all others       simulated counters, deterministic by construction:
@@ -77,6 +80,14 @@ END {
                 delta = (c - b) * 100.0 / b
                 if (delta < -thresh) {
                     printf "REGRESSION  %s: %d -> %d (%.1f%%, threshold -%s%%)\n", k, b, c, delta, thresh
+                    status = 1
+                } else {
+                    printf "ok          %s: %d -> %d (%+.1f%%)\n", k, b, c, delta
+                }
+            } else if (k ~ /_bytes_per_mote$/ && b > 0) {
+                delta = (c - b) * 100.0 / b
+                if (delta > thresh) {
+                    printf "REGRESSION  %s: %d -> %d (%+.1f%%, threshold +%s%%)\n", k, b, c, delta, thresh
                     status = 1
                 } else {
                     printf "ok          %s: %d -> %d (%+.1f%%)\n", k, b, c, delta

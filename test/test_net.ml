@@ -231,6 +231,149 @@ let domain_clamp () =
   Alcotest.(check int) "re-run of a finished net is a no-op" 0
     (Net.run ~domains:4 net)
 
+(* An always-sleeping listener: wakes on radio traffic and timer
+   overflows, consumes nothing, never exits.  Keeps a destination alive
+   (and cheap) for as long as a test needs draws to keep flowing. *)
+let idler =
+  compile ~name:"idler" {|
+  fun main() {
+    while (1 == 1) {
+      sleep;
+    }
+  }
+|}
+
+(* A sender that halts the whole mote the moment it has nothing left to
+   send, so the mote retires from the network immediately. *)
+let quitter = compile ~name:"quitter" {|
+  fun main() {
+    halt;
+  }
+|}
+
+(* Regression (PR 6): the loss draw mapped the 16-bit LFSR state
+   through [mod 1000], whose residue classes are not equally populated
+   over 1..65535 — 536‰ configured loss actually dropped ~539.8‰.  The
+   fixed draw rejects the 535 overhanging states, so over a full LFSR
+   period the measured rate is exact.  This drives ~67 500 draws (one
+   full period and change) through a 45-listener broadcast star and
+   pins the measured rate to ±2‰ — the old mapping misses the window
+   by nearly twice that. *)
+let loss_rate_is_unbiased () =
+  let packets = 500 and listeners = 45 in
+  let images =
+    [ leaf ~packets ] :: List.init listeners (fun _ -> [ idler ])
+  in
+  let net = Net.create ~loss_permille:536 images in
+  for i = 1 to listeners do
+    Net.link net 0 i
+  done;
+  ignore (Net.run ~max_cycles:8_000_000 net);
+  let draws = net.routed + net.dropped in
+  Alcotest.(check int) "every byte drew against every listener"
+    (3 * packets * listeners) draws;
+  let err_permille = abs ((1000 * net.dropped) - (536 * draws)) / draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured loss %d/%d within 2‰ of 536‰" net.dropped draws)
+    true (err_permille <= 2);
+  (* Losses arrive in runs; the streak histogram must account for every
+     closed run and only count dropped bytes. *)
+  let hist_drops =
+    Array.to_list net.streaks
+    |> List.mapi (fun i c -> (min (i + 1) Net.streak_buckets) * c)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool) "streak histogram accounts for most drops" true
+    (hist_drops > 0 && hist_drops <= net.dropped)
+
+(* Regression (PR 6): bytes radioed at a finished (or crashed) mote
+   were injected into its RX queue and counted as routed — traffic to a
+   dead node looked delivered.  They must count as dropped, with a
+   [Dropped] event, and consume no loss draw. *)
+let dead_destination_drops () =
+  let packets = 10 in
+  let tr = Trace.create () in
+  let net = Net.create ~trace:tr [ [ quitter ]; [ leaf ~packets ] ] in
+  Net.chain net;
+  let lfsr0 = net.loss_state in
+  ignore (Net.run ~max_cycles:20_000_000 net);
+  let bytes = 3 * packets in
+  Alcotest.(check int) "nothing routed to the dead mote" 0 net.routed;
+  Alcotest.(check int) "every byte counted dropped" bytes net.dropped;
+  Alcotest.(check int) "dead mote received nothing" 0 (Net.pending_rx net 0);
+  let dropped_events =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           match e.kind with Trace.Dropped _ -> true | _ -> false)
+         (Trace.events tr))
+  in
+  Alcotest.(check int) "one Dropped event per byte" bytes dropped_events;
+  (* Dead links consume no LFSR draws: the loss state is untouched on a
+     lossless net, so a later lossy run is unaffected by dead traffic. *)
+  Alcotest.(check int) "no loss draws burned" lfsr0 net.loss_state
+
+(* Regression (PR 6): with [checkpoint_every] smaller than a quantum
+   (or an idle jump crossing several multiples) the callback fired once
+   per round instead of once per crossed multiple.  Every multiple of
+   [every] the horizon crosses must fire exactly once, in order, with
+   the multiple as the argument. *)
+let checkpoint_fires_per_multiple () =
+  let packets = 10 in
+  let bytes = 3 * packets in
+  let net = Net.create [ [ sink ~bytes ]; [ leaf ~packets ] ] in
+  Net.chain net;
+  let every = 1_000 in
+  let fired = ref [] in
+  ignore
+    (Net.run ~max_cycles:200_000 ~checkpoint_every:every
+       ~on_checkpoint:(fun c _ -> fired := c :: !fired)
+       net);
+  let fired = List.rev !fired in
+  let horizon = net.quanta * net.quantum in
+  Alcotest.(check int) "one checkpoint per crossed multiple"
+    (horizon / every) (List.length fired);
+  List.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "checkpoint %d is the next multiple" i)
+        ((i + 1) * every) c)
+    fired
+
+(* The determinism contract at fleet scale: a 1000-mote lossy
+   sense-and-send campaign (shared copy-on-write flash, event-driven
+   stepping) is byte-identical at 1, 2, and 4 domains. *)
+let fleet_determinism () =
+  let periods = 2 in
+  let run domains =
+    let net =
+      Workloads.Fleet.create ~loss_permille:100 ~periods
+        ~topology:(Workloads.Fleet.Grid 32) 1000
+    in
+    let live =
+      Net.run ~max_cycles:(Workloads.Fleet.horizon ~periods) ~domains net
+    in
+    let digest =
+      Array.fold_left
+        (fun acc (n : Net.node) ->
+          let m = n.kernel.m in
+          acc + m.cycles + m.insns + m.pc + List.length m.io.radio_rx)
+        0 net.nodes
+    in
+    (Workloads.Fleet.stats ~live net, net.loss_state, digest)
+  in
+  let (s1, lfsr1, dig1) = run 1 in
+  Alcotest.(check bool) "fleet made real traffic" true
+    (s1.sent > 0 && s1.routed > 0 && s1.dropped > 0);
+  List.iter
+    (fun domains ->
+      let sd, lfsrd, digd = run domains in
+      let what fmt = Printf.sprintf ("domains=%d: " ^^ fmt) domains in
+      Alcotest.(check bool) (what "aggregate stats identical") true (s1 = sd);
+      Alcotest.(check int) (what "loss LFSR state") lfsr1 lfsrd;
+      Alcotest.(check int) (what "per-mote machine digest") dig1 digd)
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "net"
     [ ("collection",
@@ -244,4 +387,14 @@ let () =
       ("domains",
        [ Alcotest.test_case "1 vs N domains byte-identical" `Quick
            domain_determinism;
-         Alcotest.test_case "domain clamp" `Quick domain_clamp ]) ]
+         Alcotest.test_case "domain clamp" `Quick domain_clamp ]);
+      ("regressions",
+       [ Alcotest.test_case "loss rate is unbiased" `Quick
+           loss_rate_is_unbiased;
+         Alcotest.test_case "dead destination drops" `Quick
+           dead_destination_drops;
+         Alcotest.test_case "checkpoint per crossed multiple" `Quick
+           checkpoint_fires_per_multiple ]);
+      ("fleet",
+       [ Alcotest.test_case "1k motes, 1/2/4 domains byte-identical" `Quick
+           fleet_determinism ]) ]
