@@ -19,6 +19,15 @@ let progs_arg =
   let doc = "Program names to run concurrently." in
   Arg.(non_empty & pos_all string [] & info [] ~docv:"PROGRAM" ~doc)
 
+let tier_arg =
+  let doc =
+    "Execution tier ceiling: 0 = reference interpreter, 1 = compiled \
+     basic blocks, 2 = ahead-of-time compiled OCaml (requires a host \
+     toolchain; falls back to tier 1 with a warning when unavailable). \
+     All tiers are bit-identical."
+  in
+  Arg.(value & opt int 1 & info [ "tier" ] ~docv:"N" ~doc)
+
 (* list *)
 let list_cmd =
   let run () =
@@ -51,16 +60,16 @@ let disasm_cmd =
 
 (* native *)
 let native_cmd =
-  let run name =
+  let run name tier =
     let img = lookup_image name in
-    let r = Sensmart.run_native img in
+    let r = Sensmart.run_native ~tier img in
     Fmt.pr "%s: %a in %d cycles (%.3f s), %d instructions, %.1f%% active@." name
       Fmt.(option Machine.Cpu.pp_halt) r.halt r.cycles
       (Avr.Cycles.to_seconds r.cycles) r.insns
       (100. *. float_of_int r.active_cycles /. float_of_int (max 1 r.cycles))
   in
   Cmd.v (Cmd.info "native" ~doc:"Run one program bare-metal, no OS")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ tier_arg)
 
 (* Shared by run/resume: final stop, kernel counters, per-task lines. *)
 let print_run_summary (k : Kernel.t) (stop : Machine.Cpu.stop) ~trace =
@@ -93,16 +102,16 @@ let run_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the kernel event log.")
   in
-  let exec names budget trace =
+  let exec names budget trace tier =
     let images = List.map lookup_image names in
     let k = Sensmart.boot images in
-    let stop = Sensmart.run ~max_cycles:budget k in
+    let stop = Sensmart.run ~tier ~max_cycles:budget k in
     print_run_summary k stop ~trace
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run programs concurrently under the SenSmart kernel")
-    Term.(const exec $ progs_arg $ budget $ trace)
+    Term.(const exec $ progs_arg $ budget $ trace $ tier_arg)
 
 (* snapshot: run to a cycle, save the full deterministic state *)
 let snapshot_cmd =
@@ -142,7 +151,7 @@ let resume_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the kernel event log.")
   in
-  let exec file budget trace =
+  let exec file budget trace tier =
     match Snapshot.load file with
     | Error msg ->
       Fmt.epr "%s: %s@." file msg;
@@ -169,14 +178,14 @@ let resume_cmd =
             exit 1
           | () ->
             Fmt.pr "resumed %s@." (Snapshot.describe s);
-            let stop = Sensmart.run ~max_cycles:budget k in
+            let stop = Sensmart.run ~tier ~max_cycles:budget k in
             print_run_summary k stop ~trace))
   in
   Cmd.v
     (Cmd.info "resume"
        ~doc:"Restore a snapshot (rebooting its recorded programs) and \
              continue the run")
-    Term.(const exec $ file $ budget $ trace)
+    Term.(const exec $ file $ budget $ trace $ tier_arg)
 
 (* bisect: find the first cycle where two engine configurations diverge *)
 let bisect_cmd =
@@ -228,10 +237,10 @@ let trace_cmd =
     Arg.(value & opt int 200_000_000
          & info [ "budget" ] ~doc:"Cycle budget for the whole run.")
   in
-  let exec names budget =
+  let exec names budget tier =
     let images = List.map lookup_image names in
     let k = Sensmart.boot images in
-    ignore (Sensmart.run ~max_cycles:budget k);
+    ignore (Sensmart.run ~tier ~max_cycles:budget k);
     let tr = k.trace in
     if Trace.overflow tr > 0 then
       Fmt.epr "warning: event ring overflowed; %d oldest events lost@."
@@ -242,7 +251,7 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Run programs under the kernel and dump the event stream as \
              JSON lines (one event per line)")
-    Term.(const exec $ progs_arg $ budget)
+    Term.(const exec $ progs_arg $ budget $ tier_arg)
 
 (* stats: run programs (or the default metrics workload), print counters *)
 let stats_cmd =
@@ -434,7 +443,8 @@ let fleet_cmd =
              ~doc:"Also save a whole-fleet snapshot (shared flash images \
                    are stored once).")
   in
-  let exec motes topology cols seed radius loss periods copies domains out =
+  let exec motes topology cols seed radius loss periods copies domains tier out
+      =
     let topology =
       match topology with
       | `Line -> Workloads.Fleet.Line
@@ -447,7 +457,7 @@ let fleet_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let live =
-      Net.run ~max_cycles:(Workloads.Fleet.horizon ~periods) ~domains net
+      Net.run ~max_cycles:(Workloads.Fleet.horizon ~periods) ~domains ~tier net
     in
     let wall = Unix.gettimeofday () -. t0 in
     let stats = Workloads.Fleet.stats ~live net in
@@ -473,7 +483,7 @@ let fleet_cmd =
        ~doc:"Run the sense-and-send fleet workload on a generated \
              topology")
     Term.(const exec $ motes $ topology $ cols $ seed $ radius $ loss
-          $ periods $ copies $ domains $ out)
+          $ periods $ copies $ domains $ tier_arg $ out)
 
 (* compile: minic source file -> run or disassemble *)
 let compile_cmd =

@@ -561,7 +561,9 @@ let watchdog_reboot k =
     under the adversarial conditions lib/fault creates.  Only when no
     live task can be blamed (e.g. an injected node crash) does the halt
     end the run. *)
-let run ?(interp = false) ?(max_cycles = 2_000_000_000) k : Machine.Cpu.stop =
+let run ?(interp = false) ?tier ?(max_cycles = 2_000_000_000) k :
+    Machine.Cpu.stop =
+  (match tier with Some t -> k.m.tier <- t | None -> ());
   let rec loop () =
     match Machine.Cpu.run ~interp ~max_cycles k.m with
     | Halted h ->

@@ -354,13 +354,62 @@ let compile m entry : block option =
     indexes it directly on its hot path.  Chunks themselves are shared
     empties until a block is compiled into them. *)
 let ensure m =
-  if Array.length m.blocks = 0 then m.blocks <- Array.make chunk_count no_chunk
+  if Array.length m.blocks = 0 then begin
+    m.blocks <- Array.make chunk_count no_chunk;
+    m.heat <- Array.make chunk_count no_heat
+  end
 
-(** The compiled block entered at [pc], compiling and caching it on a
-    miss.  [None] when the entry instruction is undecodable. *)
+(* Compile threshold: an entry PC must be looked up this many times
+   before its block is compiled; below it the run loop single-steps via
+   tier-0.  Cold straight-line code (boot paths, one-shot handlers, the
+   whole body of a short run) is then never compiled at all — the
+   "lfsr_default only 1.64x" overhead of BENCH_pr2.json — while a loop
+   head reaches the threshold within its first iterations and steady
+   state is untouched.  The counter bookkeeping lives entirely on the
+   miss path: once compiled, lookups return the cached block without
+   touching the heat table. *)
+let default_threshold =
+  match Sys.getenv_opt "SENSMART_TIER1_THRESHOLD" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some n when n >= 1 -> n
+               | _ -> 2)
+  | None -> 2
+
+let threshold = ref default_threshold
+
+(** Override the per-entry-PC compile threshold (>= 1; 1 compiles on
+    first execution, restoring the pre-threshold behaviour). *)
+let set_threshold n = threshold := max 1 n
+
+(** The compiled block entered at [pc], compiling and caching it once
+    [pc] has been looked up [threshold] times.  [None] below the
+    threshold (caller steps via tier-0) and when the entry instruction
+    is undecodable. *)
 let lookup m pc =
   ensure m;
   let pc = pc land 0xFFFF in
   match Array.unsafe_get (Array.unsafe_get m.blocks (pc lsr 8)) (pc land 0xFF) with
   | Some _ as cached -> cached
-  | None -> compile m pc
+  | None ->
+    if !threshold <= 1 then compile m pc
+    else begin
+      let ci = pc lsr 8 in
+      let chunk =
+        let c = Array.unsafe_get m.heat ci in
+        if c != no_heat then c
+        else begin
+          let c = Array.make chunk_words 0 in
+          m.heat.(ci) <- c;
+          c
+        end
+      in
+      let h = Array.unsafe_get chunk (pc land 0xFF) + 1 in
+      if h >= !threshold then begin
+        Array.unsafe_set chunk (pc land 0xFF) 0;
+        compile m pc
+      end
+      else begin
+        Array.unsafe_set chunk (pc land 0xFF) h;
+        None
+      end
+    end

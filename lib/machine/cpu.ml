@@ -112,18 +112,146 @@ let run_blocks ?(max_cycles = max_int) m : stop =
     else if m.cycles >= m.preempt_at then Preempted
     else loop ()
 
+(** Tier-2: same contract again, entering ahead-of-time compiled code
+    (see {!Aot}) whenever the machine's flash has a compiled program
+    covering the current PC.  The compiled program chains superblocks
+    internally and returns through [ctx.stop]; every return reason maps
+    onto exactly the stop point the lower tiers would produce, and any
+    PC the program cannot serve — or a horizon too close for even one
+    block — falls back to one tier-1 iteration (which itself falls back
+    to tier-0), guaranteeing forward progress. *)
+let run_tier2 ?(max_cycles = max_int) m : stop =
+  Block.ensure m;
+  let rec loop () =
+    let ready =
+      match m.t2 with
+      | T2_ready (p, c) -> Some (p, c)
+      | T2_off -> None
+      | T2_unknown | T2_wait _ -> Aot.attempt m
+    in
+    match ready with
+    | Some (p, c) when p.Aot_runtime.has (m.pc land 0xFFFF) ->
+      let limit =
+        if max_cycles < m.preempt_at then max_cycles else m.preempt_at
+      in
+      c.Aot_runtime.pc <- m.pc land 0xFFFF;
+      c.sp <- m.sp;
+      c.sreg <- m.sreg;
+      c.cycles <- m.cycles;
+      c.insns <- m.insns;
+      c.mem_reads <- m.mem_reads;
+      c.mem_writes <- m.mem_writes;
+      c.io_reads <- m.io_reads;
+      c.io_writes <- m.io_writes;
+      c.limit <- limit;
+      c.stop <- Aot_runtime.stop_miss;
+      c.arg <- 0;
+      p.enter c;
+      m.pc <- c.pc;
+      m.sp <- c.sp;
+      m.sreg <- c.sreg;
+      m.cycles <- c.cycles;
+      m.insns <- c.insns;
+      m.mem_reads <- c.mem_reads;
+      m.mem_writes <- c.mem_writes;
+      m.io_reads <- c.io_reads;
+      m.io_writes <- c.io_writes;
+      let s = c.stop in
+      if s = Aot_runtime.stop_sleep then
+        (* SLEEP terminator: same net effect as tier-0's set-then-clear
+           of [m.sleeping]. *)
+        Sleeping
+      else if s = Aot_runtime.stop_break then begin
+        m.halted <- Some Break_hit;
+        Halted Break_hit
+      end
+      else if s = Aot_runtime.stop_syscall then begin
+        (match m.on_syscall with
+         | Some f -> f m c.arg
+         | None ->
+           m.halted <-
+             Some (Fault (Printf.sprintf "syscall %d with no kernel" c.arg)));
+        post ()
+      end
+      else if
+        (* Miss or horizon: chaining may have run the clock right up to
+           a limit before stopping. *)
+        m.cycles >= max_cycles
+      then Out_of_fuel
+      else if m.cycles >= m.preempt_at then Preempted
+      else if s = Aot_runtime.stop_horizon then begin
+        (* Next block's worst case overruns a horizon: single-step to
+           stay exactly on the tier-0 stop point. *)
+        step m;
+        post ()
+      end
+      else
+        (* PC left compiled coverage: serve one iteration from below. *)
+        tier1_once ()
+    | Some _ -> tier1_once ()
+    | None -> (
+      match m.t2 with
+      | T2_off ->
+        (* Off for this flash image (no toolchain, blank image, …):
+           hand the rest of the run to tier-1 wholesale. *)
+        run_blocks ~max_cycles m
+      | _ -> tier1_once ())
+  and tier1_once () =
+    (* One [run_blocks] iteration: cached block if it fits, else
+       compile-or-step via {!Block.lookup}'s heat gating. *)
+    let pc = m.pc land 0xFFFF in
+    let block =
+      match
+        Array.unsafe_get (Array.unsafe_get m.blocks (pc lsr 8)) (pc land 0xFF)
+      with
+      | Some _ as b -> b
+      | None -> Block.lookup m pc
+    in
+    (match block with
+     | Some b ->
+       let limit =
+         if max_cycles < m.preempt_at then max_cycles else m.preempt_at
+       in
+       if m.cycles + b.worst <= limit then ignore (b.exec m limit) else step m
+     | None -> step m);
+    post ()
+  and post () =
+    match m.halted with
+    | Some h -> Halted h
+    | None ->
+      if m.sleeping then begin
+        m.sleeping <- false;
+        Sleeping
+      end
+      else if m.cycles >= max_cycles then Out_of_fuel
+      else if m.cycles >= m.preempt_at then Preempted
+      else if m.trace <> None then run_interp ~max_cycles m
+      else loop ()
+  in
+  match m.halted with
+  | Some h -> Halted h
+  | None ->
+    if m.cycles >= max_cycles then Out_of_fuel
+    else if m.cycles >= m.preempt_at then Preempted
+    else loop ()
+
 (** Run until halt, SLEEP, the preemption horizon, or [max_cycles].
-    Dispatches to tier-1 compiled blocks unless a per-instruction trace
-    hook is installed or [~interp:true] forces the tier-0 reference
-    interpreter. *)
-let run ?(interp = false) ?(max_cycles = max_int) m : stop =
-  if interp || m.trace <> None then run_interp ~max_cycles m
-  else run_blocks ~max_cycles m
+    [?tier], when given, is stored as the machine's requested tier
+    ceiling first.  Dispatch: tracing (or [~interp:true]) forces tier-0;
+    otherwise [m.tier] selects the engine, each tier falling back to the
+    one below wherever it cannot serve the current PC. *)
+let run ?(interp = false) ?tier ?(max_cycles = max_int) m : stop =
+  (match tier with Some t -> m.tier <- t | None -> ());
+  if interp || m.trace <> None || m.tier <= 0 then run_interp ~max_cycles m
+  else if m.tier = 1 then run_blocks ~max_cycles m
+  else run_tier2 ~max_cycles m
 
 (** Run a standalone program to completion: SLEEP fast-forwards to the
     next peripheral wake-up, exactly like a bare-metal TinyOS-style app.
     Returns the final halt and the consumed cycle count. *)
-let run_native ?(interp = false) ?(max_cycles = 1_000_000_000) m : halt option =
+let run_native ?(interp = false) ?tier ?(max_cycles = 1_000_000_000) m :
+    halt option =
+  (match tier with Some t -> m.tier <- t | None -> ());
   let rec loop () =
     match run ~interp ~max_cycles m with
     | Halted h -> Some h

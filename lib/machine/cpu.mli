@@ -69,6 +69,18 @@ type t = State.t = {
       (** tier-1 compiled-block cache, keyed by entry word address and
           chunked [pc lsr 8][pc land 0xFF] with copy-on-write chunks;
           empty until the block engine first runs on this machine *)
+  mutable heat : int array array;
+      (** per-entry-PC execution counts driving the tier-1 compile
+          threshold (chunked like [blocks]); only touched on block-cache
+          misses *)
+  mutable tier : int;
+      (** requested execution tier (0, 1 or 2), a ceiling: each tier
+          falls back to the one below wherever it cannot serve the
+          current PC (see {!run}) *)
+  mutable t2 : t2;
+      (** tier-2 binding of the current flash contents; reset to
+          [T2_unknown] by every flash replacement ({!load} /
+          {!adopt_flash}) *)
 }
 
 (** One tier-1 compiled basic block: [exec m limit] retires the whole
@@ -76,6 +88,16 @@ type t = State.t = {
     returns [true] when it ended in pure control flow; [worst] bounds
     the cycles a single execution can consume. *)
 and block = State.block = { exec : t -> int -> bool; worst : int }
+
+(** Tier-2 (ahead-of-time compiled) binding states; managed by {!Aot}.
+    [T2_wait (digest, ready_at)] defers the toolchain invocation until
+    the machine has retired [ready_at] instructions, so short runs never
+    pay a compile they cannot amortize. *)
+and t2 = State.t2 =
+  | T2_unknown
+  | T2_off
+  | T2_wait of string * int
+  | T2_ready of Aot_runtime.program * Aot_runtime.ctx
 
 val create : ?flash:int array -> unit -> t
 
@@ -136,9 +158,15 @@ val step : t -> unit
 
 (** Run until halt, SLEEP, the preemption horizon, or [max_cycles].
     [~interp:true] forces the tier-0 reference interpreter; the default
-    executes tier-1 compiled blocks (unless a [trace] hook is set),
-    with identical observable behaviour. *)
-val run : ?interp:bool -> ?max_cycles:int -> t -> stop
+    follows [m.tier] (tier-1 compiled blocks unless a [trace] hook is
+    set), with identical observable behaviour at every tier.  [?tier]
+    stores a new tier ceiling on the machine before running: [2] adds
+    ahead-of-time compiled execution (see {!Aot}), [0] forces stepping.
+    Tier-2 falls back to tier-1 — and tier-1 to tier-0 — wherever the
+    higher engine cannot serve the current PC, so requesting a tier the
+    host toolchain cannot deliver degrades gracefully rather than
+    failing. *)
+val run : ?interp:bool -> ?tier:int -> ?max_cycles:int -> t -> stop
 
 (** [fast_forward m target] advances the clock to the {e absolute}
     cycle [target] (no-op when already past it) without executing,
@@ -150,5 +178,5 @@ val next_wake : t -> int
 
 (** Run a standalone program to completion, fast-forwarding through
     SLEEP — bare-metal semantics with no OS.  [None] when the cycle
-    budget ran out.  [~interp] as in {!run}. *)
-val run_native : ?interp:bool -> ?max_cycles:int -> t -> halt option
+    budget ran out.  [~interp] and [?tier] as in {!run}. *)
+val run_native : ?interp:bool -> ?tier:int -> ?max_cycles:int -> t -> halt option

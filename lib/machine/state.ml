@@ -82,6 +82,16 @@ type t = {
          [no_chunk] and are copied on first write, so creating a machine
          costs one small array, not a megabyte of table.  Empty until
          the block engine first runs on this machine. *)
+  mutable heat : int array array;
+      (* per-entry-PC execution counts driving the tier-1 compile
+         threshold; chunked like [blocks] and only touched on
+         block-cache misses, so hot steady state never sees it. *)
+  mutable tier : int;
+      (* requested execution tier (0, 1 or 2); a ceiling, not a mode —
+         each tier falls back to the one below wherever it cannot serve
+         the current PC. *)
+  mutable t2 : t2;
+      (* tier-2 binding of the current flash contents; see {!Aot}. *)
 }
 
 (* One compiled basic block: [exec m limit] retires the whole run
@@ -93,6 +103,16 @@ type t = {
    re-check the cycle horizons). *)
 and block = { exec : t -> int -> bool; worst : int }
 
+(* Tier-2 (ahead-of-time compiled) binding states, managed by {!Aot}.
+   [T2_wait (digest, ready_at)] defers the toolchain invocation until
+   the machine has retired [ready_at] instructions, so short runs never
+   pay for a compile they cannot amortize. *)
+and t2 =
+  | T2_unknown  (* flash not yet digested *)
+  | T2_off  (* tier-2 unavailable for this image (or globally) *)
+  | T2_wait of string * int
+  | T2_ready of Aot_runtime.program * Aot_runtime.ctx
+
 (* Block-table chunk geometry: flash_words = chunk_count * chunk_words. *)
 let chunk_words = 256
 let chunk_count = Layout.flash_words / chunk_words
@@ -100,6 +120,7 @@ let chunk_count = Layout.flash_words / chunk_words
 (* The shared all-empty chunks; never written (copy-on-write). *)
 let no_chunk : block option array = Array.make chunk_words None
 let no_code_chunk : Isa.t option array = Array.make chunk_words None
+let no_heat : int array = Array.make chunk_words 0
 
 (* Longest flash span (in words) one compiled block may cover.  [load]
    invalidates this many words before the written range, so any cached
@@ -130,7 +151,10 @@ let create ?(flash = [||]) () =
     preempt_at = max_int;
     on_syscall = None;
     trace = None;
-    blocks = [||] }
+    blocks = [||];
+    heat = [||];
+    tier = 1;
+    t2 = T2_unknown }
 
 (* Invalidate the decode cache over word range [lo, hi) (chunk-wise:
    shared empty chunks are already invalid and are skipped). *)
@@ -172,7 +196,13 @@ let load ?(at = 0) m (image : int array) =
       let chunk = Array.unsafe_get m.blocks (w lsr 8) in
       if chunk != no_chunk then Array.unsafe_set chunk (w land 0xFF) None
     done
-  end
+  end;
+  (* The tier-2 program was compiled from the old flash contents; drop
+     the binding so the next tier-2 attempt re-digests.  A mote that was
+     aliasing a shared template keeps the template's compiled program
+     alive for its siblings (the registry is keyed by digest) but must
+     never execute it against its now-private, patched image. *)
+  m.t2 <- T2_unknown
 
 (** A machine whose flash {e aliases} [flash] (which must be a full
     [Layout.flash_words]-long image) instead of copying it.  Booting N
@@ -198,7 +228,9 @@ let adopt_flash m flash =
   m.flash_shared <- true;
   Array.fill m.code 0 chunk_count no_code_chunk;
   if Array.length m.blocks > 0 then
-    Array.fill m.blocks 0 chunk_count no_chunk
+    Array.fill m.blocks 0 chunk_count no_chunk;
+  if Array.length m.heat > 0 then Array.fill m.heat 0 chunk_count no_heat;
+  m.t2 <- T2_unknown
 
 let active_cycles m = m.cycles - m.idle_cycles
 

@@ -304,10 +304,15 @@ end
     when an idle jump crosses several multiples at once.  The state
     handed to the callback is coordinator-consistent (sinks drained,
     bytes exchanged) at the *current* horizon, which is [>= c]. *)
-let run ?(max_cycles = 50_000_000) ?(domains = 1) ?checkpoint_every
+let run ?(max_cycles = 50_000_000) ?(domains = 1) ?tier ?checkpoint_every
     ?(on_checkpoint = fun _ _ -> ()) (t : t) : int =
   let nnodes = Array.length t.nodes in
   let d = max 1 (min domains nnodes) in
+  (* A new tier ceiling applies to every mote; motes sharing one
+     template image share one tier-2 artifact (content addressing). *)
+  (match tier with
+   | Some tr -> Array.iter (fun n -> n.kernel.m.tier <- tr) t.nodes
+   | None -> ());
   (* Pick up events logged into per-mote sinks outside [run] (e.g. a
      fault engine crashing a node between segments). *)
   drain_sinks t;

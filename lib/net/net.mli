@@ -93,6 +93,11 @@ val link_all : t -> Topology.edge list -> unit
     merging stay on the calling domain, so counters, events, and
     machine state are byte-identical at any domain count.
 
+    [tier], when given, stores a new execution-tier ceiling on every
+    mote first (as {!Machine.Cpu.run}); motes booted from one shared
+    template image share one tier-2 compilation, so a 10 k-mote fleet
+    pays the toolchain once per distinct program.
+
     The lockstep position derives from [t.quanta], so calling [run]
     again — including on a network restored from a [Snapshot] — resumes
     the exact horizon sequence of an uninterrupted run.
@@ -106,6 +111,7 @@ val link_all : t -> Topology.edge list -> unit
 val run :
   ?max_cycles:int ->
   ?domains:int ->
+  ?tier:int ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(int -> t -> unit) ->
   t ->

@@ -11,6 +11,10 @@
 #   host.*_bytes_per_mote
 #                    size gate, lower is better: a growth of more than
 #                    the same threshold is a REGRESSION -> exit 1.
+#   host.tier2_speedup_vs_tier1_x100
+#                    absolute gate (no baseline needed): below 500
+#                    (i.e. tier-2 sustaining < 5x tier-1 on an
+#                    engine-bound spin) is a REGRESSION -> exit 1.
 #   host.*           everything else host-side (wall clock) is
 #                    informational; it depends on machine load.
 #   all others       simulated counters, deterministic by construction:
@@ -68,6 +72,23 @@ FNR == 1 { file++ }
 }
 END {
     status = 0
+    # Absolute gate, independent of the baseline: tier-2 exists to beat
+    # the tier-1 block engine by a wide margin on engine-bound code, so
+    # a sustained speedup under 5x means the AOT path regressed (or
+    # silently degraded to tier-1 because the toolchain broke).
+    spd = "host.tier2_speedup_vs_tier1_x100"
+    if (spd in cur && cur[spd] + 0 < 500) {
+        printf "REGRESSION  %s: %d < 500 (tier-2 must sustain >= 5x tier-1)\n", spd, cur[spd] + 0
+        status = 1
+    }
+    # Short runs must never pay for compilation they cannot amortize:
+    # tier-1 on the default (2k-iteration) LFSR bench has to at least
+    # match tier-0 (90 leaves room for timer noise on sub-ms samples).
+    shrt = "host.tier1_short_speedup_x100"
+    if (shrt in cur && cur[shrt] + 0 < 90) {
+        printf "REGRESSION  %s: %d < 90 (tier-1 slower than tier-0 on a short run)\n", shrt, cur[shrt] + 0
+        status = 1
+    }
     for (k in base) {
         if (!(k in cur)) {
             printf "MISSING     %s (baseline %s): counter vanished from the smoke run\n", k, base[k]

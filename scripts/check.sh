@@ -18,9 +18,11 @@ else
 fi
 
 # Execution-tier differential harness: every bundled program plus
-# randomized streams must be bit-identical between the tier-1 block
-# engine and the tier-0 interpreter (also part of runtest; run
-# explicitly so a failure is unmistakable in CI logs).
+# randomized streams must be bit-identical across the tier-0
+# interpreter, the tier-1 block engine, and the tier-2 ahead-of-time
+# compiled path — including snapshot/restore, fault campaigns, and
+# multi-domain fleets (also part of runtest; run explicitly so a
+# failure is unmistakable in CI logs).
 dune exec test/test_tiers.exe
 
 # Domain-parallel determinism: Net.run at 1 vs N domains must produce
