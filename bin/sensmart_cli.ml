@@ -392,6 +392,109 @@ let fault_cmd =
     Term.(const exec $ progs_arg $ trials $ faults $ seed $ disruptive
           $ interp $ budget $ injects $ trace $ out)
 
+(* attack: adversarial code-injection campaigns and raw-packet replay *)
+let attack_cmd =
+  let trials =
+    Arg.(value & opt int 2
+         & info [ "trials" ]
+             ~doc:"Seeded packet variants per (system, class) cell.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Campaign seed.  The same seed (and arguments) \
+                   reproduces the same matrix, bit for bit.")
+  in
+  let tier =
+    Arg.(value & opt int 1
+         & info [ "tier" ]
+             ~doc:"Execution tier: 0 reference interpreter, 1 compiled \
+                   blocks, 2 ahead-of-time compiled.  The matrix is \
+                   identical at every tier.")
+  in
+  let systems =
+    Arg.(value & opt_all string []
+         & info [ "system" ] ~docv:"NAME"
+             ~doc:"Target kernel (repeatable): sensmart, tkernel, liteos \
+                   or matevm.  Default: all four.")
+  in
+  let packets =
+    Arg.(value & opt_all string []
+         & info [ "packet"; "p" ] ~docv:"HEX"
+             ~doc:"Replay one raw radio packet (hex bytes, spaces \
+                   optional; repeatable) against the SenSmart \
+                   receiver+guard pair with the full probe battery.  \
+                   With --packet the campaign is skipped.")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Also print the machine-readable counter snapshot \
+                   (flat JSON, the attack.* schema bench_diff.sh gates).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the run's counter snapshot as JSON.")
+  in
+  let exec trials seed tier systems packets report out =
+    match packets with
+    | [] ->
+      let systems =
+        match systems with [] -> Attack.all_systems | l -> l
+      in
+      List.iter
+        (fun s ->
+          if not (List.mem s Attack.all_systems) then begin
+            Fmt.epr "unknown system %S (expected one of: %s)@." s
+              (String.concat ", " Attack.all_systems);
+            exit 1
+          end)
+        systems;
+      let m = Attack.campaign ~tier ~trials ~seed ~systems () in
+      Fmt.pr "%a@." Attack.pp_matrix m;
+      if report then Fmt.pr "%s@." (Workloads.Metrics.json m.Attack.trace);
+      (match out with
+       | None -> ()
+       | Some path ->
+         ignore (Workloads.Metrics.write_file ~path m.Attack.trace))
+    | specs ->
+      let parsed =
+        List.map
+          (fun s ->
+            match Attack.packet_of_spec s with
+            | Ok bytes -> bytes
+            | Error msg ->
+              Fmt.epr "bad --packet %S: %s@." s msg;
+              exit 1)
+          specs
+      in
+      let t, trace = Attack.replay ~tier parsed in
+      Fmt.pr "packet replay: %a (frames=%d, %s%s)@." Attack.pp_verdict
+        t.Attack.verdict t.Attack.frames
+        (if t.Attack.responsive then "responsive" else "unresponsive")
+        (match t.Attack.recovery_cycles with
+         | Some c -> Printf.sprintf ", recovered in %d cycles" c
+         | None -> "");
+      List.iter
+        (fun (p : Attack.probe) ->
+          Fmt.pr "  %s %s: %s@."
+            (if p.Attack.ok then "ok" else "!!")
+            p.Attack.pname p.Attack.detail)
+        t.Attack.probes;
+      (match out with
+       | None -> ()
+       | Some path -> ignore (Workloads.Metrics.write_file ~path trace))
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the adversarial code-injection campaign (Harvard radio \
+             packet attacks against every kernel, cross-kernel \
+             containment matrix) or replay explicit raw --packet frames \
+             against the SenSmart receiver")
+    Term.(const exec $ trials $ seed $ tier $ systems $ packets $ report
+          $ out)
+
 (* fleet: run the sense-and-send fleet workload at scale *)
 let fleet_cmd =
   let motes =
@@ -607,5 +710,5 @@ let () =
        (Cmd.group info
           [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
             resume_cmd; bisect_cmd; trace_cmd; stats_cmd; fault_cmd;
-            fleet_cmd; compile_cmd; table1;
+            attack_cmd; fleet_cmd; compile_cmd; table1;
             table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

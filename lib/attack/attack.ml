@@ -1,0 +1,948 @@
+(* Deterministic adversarial attack campaigns: Harvard code-injection
+   workloads delivered through the radio, with a cross-kernel
+   containment matrix.
+
+   The attacker model is Francillon & Castelluccia's remote code
+   injection on Harvard-architecture AVR motes (CCS'08,
+   arXiv:0901.3482): the only attacker capability is sending radio
+   packets to a mote running a vulnerable frame receiver
+   ({!Programs.Rx_vuln}).  Three escalating packet classes:
+
+   - {b Flood}: an oversized frame whose unchecked copy walks far past
+     the receive buffer — the blunt stack smash.
+   - {b Clobber}: a frame of exactly [buf_bytes + 4] bytes whose last
+     four bytes replace the handler's saved frame pointer and return
+     address — a remote program-counter write aimed at an existing code
+     address (return-to-foreign-code; on a Harvard MCU the attacker
+     cannot execute the payload itself, only reuse resident code).
+   - {b Chain}: the paper's gadget bootstrap — the clobbered return
+     re-enters the handler's copy loop ([rf_ldx]) with a forged frame
+     pointer, turning the receiver into a write-anywhere primitive fed
+     by the rest of the radio stream (a fake stack frame + gadget
+     chain, two stages deep).
+
+   The same logical attack is aimed at four kernels: SenSmart
+   (naturalized tasks, logical addressing), t-kernel (kernel-only
+   protection, single app), LiteOS-like threads (fixed physical
+   partitions), and the Maté-like bytecode VM.  Per-system packet bytes
+   differ only in the embedded addresses, each computed from that
+   system's own symbol/rewrite tables.
+
+   Each trial runs the victim next to an untouched bystander
+   ({!Programs.Rx_vuln.guard} where the kernel supports multitasking),
+   delivers the attack volley, then probes for containment: heap canary
+   sweep, sampled PC-outside-task-text, post-attack benign-frame
+   liveness, sibling progress, kill-reason classification, and (for
+   SenSmart) the kernel's structural invariants.  Probes land in the
+   campaign's trace as {!Trace.Probe} events, and the verdict lattice
+   [Contained < Degraded < Escaped < Bricked] is computed from probe
+   outcomes only — never from knowledge of the attack class.
+
+   Everything is deterministic: packets derive from a splitmix-mixed
+   seed, delivery rides {!Fault.Radio_frame} injections (SenSmart) or
+   direct peripheral queueing at fixed absolute cycles, and all
+   engines advance by absolute cycle horizons, so a campaign is
+   byte-identical across execution tiers and network domain counts. *)
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+
+type verdict = Contained | Degraded | Escaped | Bricked
+
+let verdict_rank = function
+  | Contained -> 0
+  | Degraded -> 1
+  | Escaped -> 2
+  | Bricked -> 3
+
+let verdict_name = function
+  | Contained -> "contained"
+  | Degraded -> "degraded"
+  | Escaped -> "escaped"
+  | Bricked -> "bricked"
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_name v)
+
+let worst a b = if verdict_rank a >= verdict_rank b then a else b
+
+type cls = Flood | Clobber | Chain
+
+let cls_name = function
+  | Flood -> "flood"
+  | Clobber -> "clobber"
+  | Chain -> "chain"
+
+let all_classes = [ Flood; Clobber; Chain ]
+let all_systems = [ "sensmart"; "tkernel"; "liteos"; "matevm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded determinism (splitmix64, the same generator family as
+   [Fault.Plan.random]; no [Random] state involved).                   *)
+
+let splitmix x =
+  let z = (x + 0x9E3779B9) land max_int in
+  let z = (z lxor (z lsr 16)) * 0x45D9F3B land max_int in
+  let z = (z lxor (z lsr 13)) * 0x45D9F3B land max_int in
+  (z lxor (z lsr 16)) land 0x3FFFFFFF
+
+type rng = { mutable state : int }
+
+let rng_of seed = { state = splitmix seed }
+
+let next r =
+  r.state <- splitmix r.state;
+  r.state
+
+let next_byte r = next r land 0xFF
+
+(* ------------------------------------------------------------------ *)
+(* Packet crafting                                                     *)
+
+module Packet = struct
+  let sync = Programs.Rx_vuln.sync_byte
+  let buf = Programs.Rx_vuln.buf_bytes
+
+  (** [frame payload] — sync byte, length, payload. *)
+  let frame payload = sync :: (List.length payload land 0xFF) :: payload
+
+  (** A well-formed 4-byte frame, the post-attack liveness probe. *)
+  let benign = frame [ 0x11; 0x22; 0x33; 0x44 ]
+
+  (** Oversized frame: [len] filler bytes against an 8-byte buffer. *)
+  let flood ~len ~fill = frame (List.init len fill)
+
+  (** Exactly overwrite the handler's saved Y and return address.
+      [y] and [ret] are in the target system's own coordinates ([ret]
+      is a flash {e word} address, as RET pops it). *)
+  let clobber ?(extra = []) ~y ~ret ~fill () =
+    frame
+      (List.init buf fill
+      @ [ (y lsr 8) land 0xFF; y land 0xFF;
+          (ret lsr 8) land 0xFF; ret land 0xFF ]
+      @ extra)
+
+  (** The gadget bootstrap: return into [rf_ldx] with the forged frame
+      pointer aimed one below [target], so the copy loop re-reads a
+      length byte and writes [payload] at [target..] straight off the
+      radio. *)
+  let chain ~target ~rf_ldx ~payload ~fill =
+    clobber ~y:((target - 1) land 0xFFFF) ~ret:rf_ldx ~fill
+      ~extra:((List.length payload land 0xFF) :: payload)
+      ()
+
+  let pp_bytes fmt bytes =
+    List.iter (fun b -> Format.fprintf fmt "%02x" (b land 0xFF)) bytes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trial schedule (absolute cycles, identical for every system)        *)
+
+let t_attack = 200_000
+let t_benign = 1_600_000
+let t_end = 2_600_000
+let sample_step = 4_000
+let sample_until = t_attack + 200_000
+let recovery_budget = 1_200_000
+
+let sample_grid =
+  let rec grid c acc =
+    if c > sample_until then List.rev acc else grid (c + sample_step) (c :: acc)
+  in
+  grid (t_attack + sample_step) [] @ [ t_benign - 1; t_end ]
+
+(* ------------------------------------------------------------------ *)
+(* Probes and trials                                                   *)
+
+type probe = { pname : string; detail : string; ok : bool }
+
+type trial = {
+  system : string;
+  cls : cls;
+  index : int;
+  packet : int list;
+  verdict : verdict;
+  probes : probe list;  (** every probe consulted, fired or clean *)
+  frames : int;  (** the receiver's frame counter at [t_end] *)
+  responsive : bool;  (** processed the post-attack benign frame *)
+  recovery_cycles : int option;
+      (** cycles from watchdog reboot to restored service (SenSmart
+          trials whose verdict was not [Contained]) *)
+  cycles : int;  (** the subject's clock when the trial ended *)
+}
+
+(* Probe bookkeeping: collect the outcome list and mirror every probe
+   into the campaign sink as a Trace.Probe event. *)
+let mk_probe trace ~mote ~at acc ~name ~detail ~ok =
+  Trace.emit trace ~mote ~at (Trace.Probe { name; detail });
+  acc := { pname = name; detail; ok } :: !acc
+
+(** The verdict, from probe outcomes only (no attack-class knowledge):
+    - [Bricked]: the machine halted wildly, or nothing on the mote is
+      alive any more;
+    - [Escaped]: damage outside the attacked task (canary, sibling);
+    - [Degraded]: foreign/wild execution was observed, an unexplained
+      kill happened, or the receiver is an unresponsive zombie while
+      the rest of the mote survives;
+    - [Contained]: the mote still serves — either the receiver shrugged
+      the volley off, or the kernel's protection killed it cleanly and
+      everyone else is intact. *)
+let classify ~halted_wild ~sibling_damage ~hijack ~responsive ~protection_kill
+    ~kernel_alive ~sibling_alive =
+  if halted_wild then Bricked
+  else if sibling_damage then Escaped
+  else if hijack then Degraded
+  else if responsive then Contained
+  else if protection_kill && kernel_alive then Contained
+  else if sibling_alive then Degraded
+  else Bricked
+
+(* Symbol helpers. *)
+let text_addr img name =
+  match Asm.Image.find_symbol img name with
+  | Some (Asm.Image.Text w) -> w
+  | _ -> invalid_arg (Printf.sprintf "attack: no text label %S" name)
+
+let data_addr img name =
+  match Asm.Image.find_symbol img name with
+  | Some (Asm.Image.Data a) -> a
+  | _ -> invalid_arg (Printf.sprintf "attack: no data symbol %S" name)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let is_protection_reason r =
+  contains r "protection" || contains r "overflow" || contains r "kernel-area"
+  || contains r "bounds"
+
+(* ------------------------------------------------------------------ *)
+(* SenSmart driver                                                     *)
+
+let nat_label (t : Kernel.Task.t) name =
+  Rewriter.Shift_table.to_naturalized t.nat.shift (text_addr t.nat.source name)
+
+let nat_span (t : Kernel.Task.t) =
+  (t.nat.base, t.nat.base + Rewriter.Naturalized.total_words t.nat)
+
+let in_span pc (lo, hi) = pc >= lo && pc < hi
+
+(** One SenSmart trial: receiver + guard under the kernel, packets
+    delivered through {!Fault.run_kernel} with [Radio_frame]
+    injections, the engine re-entered on the sampling grid so the PC
+    probe can look between segments.  [packets] is a list of
+    [(at, bytes)] — campaigns pass one attack packet; the CLI's
+    [--packet] replay passes arbitrary ones. *)
+let run_sensmart ?(tier = 1) ~trace ~mote ~packets () =
+  let rx_img = Asm.Assembler.assemble (Programs.Rx_vuln.receiver ()) in
+  let gd_img = Asm.Assembler.assemble (Programs.Rx_vuln.guard ()) in
+  let k = Kernel.boot ~trace ~mote [ rx_img; gd_img ] in
+  k.m.tier <- tier;
+  let plan =
+    Fault.Plan.make
+      (List.map
+         (fun (at, bytes) ->
+           { Fault.at; mote; kind = Fault.Radio_frame { bytes } })
+         (packets @ [ (t_benign, Packet.benign) ]))
+  in
+  let rx = Kernel.find_task k 0 and gd = Kernel.find_task k 1 in
+  let spans = List.map nat_span [ rx; gd ] in
+  let probes = ref [] in
+  let probe = mk_probe trace ~mote in
+  let hijack = ref None in
+  let frames_before = ref 0 and progress_before = ref 0 in
+  let last_stop = ref Machine.Cpu.Out_of_fuel in
+  List.iter
+    (fun g ->
+      last_stop := Fault.run_kernel ~max_cycles:g ~plan k;
+      (* PC probe: the current task executing outside its own
+         naturalized text (wild flash, or a sibling's code). *)
+      (match (!hijack, k.current) with
+       | None, Some t when (match t.status with Exited _ -> true | _ -> false)
+         -> ()
+       | None, Some t ->
+         let pc = k.m.pc in
+         if not (in_span pc (nat_span t)) then
+           let where =
+             if List.exists (in_span pc) spans then "a sibling's text"
+             else "unmapped flash"
+           in
+           hijack :=
+             Some
+               (Printf.sprintf "task %d at pc 0x%04x in %s (cycle %d)" t.id pc
+                  where k.m.cycles)
+       | _ -> ());
+      if g = t_benign - 1 then begin
+        frames_before := Kernel.read_var k 0 "frames";
+        progress_before := Kernel.read_var k 1 "progress"
+      end)
+    sample_grid;
+  let at = k.m.cycles in
+  (match !hijack with
+   | Some detail -> probe ~at probes ~name:"pc_bounds" ~detail ~ok:false
+   | None ->
+     probe ~at probes ~name:"pc_bounds" ~detail:"all samples in-text" ~ok:true);
+  (* Canary sweep over the guard's heap (logical read: relocation-proof). *)
+  let canary_base = data_addr gd_img "canary" in
+  let bad = ref 0 in
+  for i = 0 to Programs.Rx_vuln.canary_bytes - 1 do
+    if Kernel.heap_byte k 1 (canary_base + i) <> Programs.Rx_vuln.canary_fill
+    then incr bad
+  done;
+  probe ~at probes ~name:"canary"
+    ~detail:
+      (if !bad = 0 then "guard canary intact"
+       else Printf.sprintf "guard canary: %d byte(s) clobbered" !bad)
+    ~ok:(!bad = 0);
+  (* Structural invariants. *)
+  let invariant_bad =
+    match Kernel.check_invariants k with
+    | () -> None
+    | exception Failure m -> Some m
+  in
+  probe ~at probes ~name:"invariants"
+    ~detail:(Option.value invariant_bad ~default:"region invariants hold")
+    ~ok:(invariant_bad = None);
+  (* Liveness: did the benign probe frame advance the frame counter? *)
+  let frames = Kernel.read_var k 0 "frames" in
+  let responsive = frames > !frames_before in
+  probe ~at probes ~name:"liveness"
+    ~detail:
+      (Printf.sprintf "receiver frames %d -> %d after benign probe"
+         !frames_before frames)
+    ~ok:responsive;
+  (* Sibling progress. *)
+  let progress = Kernel.read_var k 1 "progress" in
+  let sibling_alive =
+    progress > !progress_before
+    && (match gd.status with Exited _ -> false | _ -> true)
+  in
+  probe ~at probes ~name:"sibling"
+    ~detail:
+      (Printf.sprintf "guard progress %d -> %d" !progress_before progress)
+    ~ok:sibling_alive;
+  (* Kill-reason classification from the kernel's own event stream. *)
+  let kills =
+    List.filter_map
+      (fun (n, r) -> if r = "exit" then None else Some (n, r))
+      (Kernel.outcomes k)
+  in
+  let protection_kill =
+    List.exists (fun (_, r) -> is_protection_reason r) kills
+  in
+  let unexplained =
+    List.filter (fun (_, r) -> not (is_protection_reason r)) kills
+  in
+  probe ~at probes ~name:"kill"
+    ~detail:
+      (match kills with
+       | [] -> "no task killed"
+       | l ->
+         String.concat "; "
+           (List.map (fun (n, r) -> Printf.sprintf "%s: %s" n r) l))
+    ~ok:(unexplained = []);
+  let halted_wild =
+    match !last_stop with
+    | Machine.Cpu.Halted (Machine.Cpu.Fault _)
+    | Machine.Cpu.Halted (Machine.Cpu.Invalid_opcode _) ->
+      (* A halt the kernel could not pin on a live task. *)
+      true
+    | _ -> false
+  in
+  let verdict =
+    classify ~halted_wild
+      ~sibling_damage:(!bad > 0)
+      ~hijack:(!hijack <> None || invariant_bad <> None)
+      ~responsive ~protection_kill
+      ~kernel_alive:(not halted_wild)
+      ~sibling_alive
+  in
+  (* Graceful degradation: when the service was damaged, compose with
+     the watchdog and measure time back to a serving receiver. *)
+  let recovery_cycles =
+    if verdict = Contained then None
+    else begin
+      let t_reboot = k.m.cycles in
+      Kernel.watchdog_reboot k;
+      Fault.inject ~trace k
+        { Fault.at = 0; mote; kind = Fault.Radio_frame { bytes = Packet.benign } };
+      let rec seek horizon =
+        if horizon > t_reboot + recovery_budget then None
+        else begin
+          ignore (Kernel.run ~max_cycles:horizon k);
+          if (match (Kernel.find_task k 0).status with
+              | Exited _ -> false
+              | _ -> true)
+             && Kernel.read_var k 0 "frames" > 0
+          then Some (k.m.cycles - t_reboot)
+          else seek (horizon + 50_000)
+        end
+      in
+      let r = seek (t_reboot + 50_000) in
+      probe ~at:k.m.cycles probes ~name:"recovery"
+        ~detail:
+          (match r with
+           | Some c -> Printf.sprintf "service restored %d cycles after reboot" c
+           | None -> "service not restored within recovery budget")
+        ~ok:(r <> None);
+      r
+    end
+  in
+  (verdict, List.rev !probes, frames, responsive, recovery_cycles, k.m.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* t-kernel driver                                                     *)
+
+(* Kernel-area canary for the t-kernel trial: bytes the rewritten app
+   must never reach (the protection line is [Kcells.app_limit]). *)
+let tk_canary_base = 0x10C0
+let tk_canary_bytes = 16
+
+let tk_sp_top = Rewriter.Kcells.app_limit - 1
+
+let run_tkernel ?(tier = 1) ~trace ~mote ~packet () =
+  let src =
+    Asm.Assembler.assemble (Programs.Rx_vuln.receiver ~sp_top:tk_sp_top ())
+  in
+  let rw = Tkernel.Rewrite.run src in
+  let s = Tkernel.Run.start rw in
+  let m = s.Tkernel.Run.machine in
+  m.tier <- tier;
+  for i = 0 to tk_canary_bytes - 1 do
+    Machine.Cpu.write8 m (tk_canary_base + i) Programs.Rx_vuln.canary_fill
+  done;
+  let inject at bytes =
+    List.iteri
+      (fun i b ->
+        Machine.Io.inject_rx m.io ~cycles:(max at m.cycles)
+          ~after:((i + 1) * Machine.Io.radio_byte_cycles)
+          b)
+      bytes
+  in
+  let text_words = Array.length rw.image.words in
+  let probes = ref [] in
+  let probe = mk_probe trace ~mote in
+  let hijack = ref None in
+  let frames_before = ref 0 in
+  let halt = ref None in
+  let frames_of () = Machine.Cpu.read16 m (data_addr src "frames") in
+  List.iter
+    (fun g ->
+      if g = t_attack + sample_step then inject t_attack packet;
+      if g = t_benign then inject t_benign Packet.benign;
+      if !halt = None then halt := Tkernel.Run.continue_ ~max_cycles:g s;
+      (match !hijack with
+       | None when !halt = None && m.pc >= text_words ->
+         hijack :=
+           Some
+             (Printf.sprintf "pc 0x%04x beyond rewritten text (cycle %d)" m.pc
+                m.cycles)
+       | _ -> ());
+      if g = t_benign - 1 then frames_before := frames_of ())
+    (List.sort_uniq compare
+       ((t_attack + sample_step) :: t_benign :: sample_grid));
+  let at = m.cycles in
+  (match !hijack with
+   | Some detail -> probe ~at probes ~name:"pc_bounds" ~detail ~ok:false
+   | None ->
+     probe ~at probes ~name:"pc_bounds" ~detail:"all samples in-text" ~ok:true);
+  let bad = ref 0 in
+  for i = 0 to tk_canary_bytes - 1 do
+    if Machine.Cpu.read8 m (tk_canary_base + i) <> Programs.Rx_vuln.canary_fill
+    then incr bad
+  done;
+  probe ~at probes ~name:"canary"
+    ~detail:
+      (if !bad = 0 then "kernel-area canary intact"
+       else Printf.sprintf "kernel-area canary: %d byte(s) clobbered" !bad)
+    ~ok:(!bad = 0);
+  let frames = frames_of () in
+  let responsive = !halt = None && frames > !frames_before in
+  probe ~at probes ~name:"liveness"
+    ~detail:
+      (Printf.sprintf "app frames %d -> %d after benign probe" !frames_before
+         frames)
+    ~ok:responsive;
+  let kill_reason =
+    match !halt with
+    | Some (Machine.Cpu.Fault r) -> Some r
+    | Some (Machine.Cpu.Invalid_opcode (pc, w)) ->
+      Some (Printf.sprintf "invalid opcode 0x%04x at 0x%04x" w pc)
+    | Some Machine.Cpu.Break_hit | None -> None
+  in
+  let protection_kill =
+    match kill_reason with Some r -> is_protection_reason r | None -> false
+  in
+  probe ~at probes ~name:"kill"
+    ~detail:(Option.value kill_reason ~default:"app still running")
+    ~ok:(kill_reason = None || protection_kill);
+  let halted_wild = kill_reason <> None && not protection_kill in
+  let verdict =
+    classify ~halted_wild
+      ~sibling_damage:(!bad > 0)
+      ~hijack:(!hijack <> None)
+      ~responsive ~protection_kill
+      ~kernel_alive:(!halt = None)
+      ~sibling_alive:false
+  in
+  (verdict, List.rev !probes, frames, responsive, None, m.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* LiteOS driver                                                       *)
+
+let run_liteos ?(tier = 1) ~trace ~mote ~mk_packet () =
+  let l =
+    Liteos.boot
+      [ ("rx_vuln", fun ~data_base:_ ~sp_top -> Programs.Rx_vuln.receiver ~sp_top ());
+        ("guard", fun ~data_base:_ ~sp_top -> Programs.Rx_vuln.guard ~sp_top ()) ]
+  in
+  l.m.tier <- tier;
+  let rx = List.nth l.threads 0 and gd = List.nth l.threads 1 in
+  (* Per-thread text spans: symbols are absolute (each thread is
+     assembled against its private flash base). *)
+  let span (th : Liteos.thread) =
+    let lo = text_addr th.img "start" in
+    (lo, lo + th.img.text_words)
+  in
+  let spans = [ span rx; span gd ] in
+  let packet = mk_packet ~rx ~gd in
+  let inject at bytes =
+    List.iteri
+      (fun i b ->
+        Machine.Io.inject_rx l.m.io ~cycles:(max at l.m.cycles)
+          ~after:((i + 1) * Machine.Io.radio_byte_cycles)
+          b)
+      bytes
+  in
+  let probes = ref [] in
+  let probe = mk_probe trace ~mote in
+  let hijack = ref None in
+  let frames_before = ref 0 and progress_before = ref 0 in
+  let last_stop = ref Machine.Cpu.Out_of_fuel in
+  List.iter
+    (fun g ->
+      if g = t_attack + sample_step then inject t_attack packet;
+      if g = t_benign then inject t_benign Packet.benign;
+      (match !last_stop with
+       | Machine.Cpu.Halted _ -> ()
+       | _ -> last_stop := Liteos.run ~max_cycles:g l);
+      (match (!hijack, l.current) with
+       | None, Some th
+         when (match th.status with Liteos.Dead _ -> false | _ -> true) ->
+         let pc = l.m.pc in
+         if not (in_span pc (span th)) then
+           let where =
+             if List.exists (in_span pc) spans then "a sibling's text"
+             else "unmapped flash"
+           in
+           hijack :=
+             Some
+               (Printf.sprintf "thread %d at pc 0x%04x in %s (cycle %d)" th.id
+                  pc where l.m.cycles)
+       | _ -> ());
+      if g = t_benign - 1 then begin
+        frames_before := Liteos.read_var l 0 "frames";
+        progress_before := Liteos.read_var l 1 "progress"
+      end)
+    (List.sort_uniq compare
+       ((t_attack + sample_step) :: t_benign :: sample_grid));
+  let at = l.m.cycles in
+  (match !hijack with
+   | Some detail -> probe ~at probes ~name:"pc_bounds" ~detail ~ok:false
+   | None ->
+     probe ~at probes ~name:"pc_bounds" ~detail:"all samples in-text" ~ok:true);
+  (* Canary sweep: the guard's heap is a fixed physical window right
+     above the receiver's stack partition — exactly what a wild
+     physical write crosses into. *)
+  let canary_base = data_addr gd.img "canary" in
+  let bad = ref 0 in
+  for i = 0 to Programs.Rx_vuln.canary_bytes - 1 do
+    if Machine.Cpu.read8 l.m (canary_base + i) <> Programs.Rx_vuln.canary_fill
+    then incr bad
+  done;
+  probe ~at probes ~name:"canary"
+    ~detail:
+      (if !bad = 0 then "guard canary intact"
+       else Printf.sprintf "guard canary: %d byte(s) clobbered" !bad)
+    ~ok:(!bad = 0);
+  let frames = Liteos.read_var l 0 "frames" in
+  let responsive = frames > !frames_before in
+  probe ~at probes ~name:"liveness"
+    ~detail:
+      (Printf.sprintf "receiver frames %d -> %d after benign probe"
+         !frames_before frames)
+    ~ok:responsive;
+  let progress = Liteos.read_var l 1 "progress" in
+  let sibling_alive =
+    progress > !progress_before
+    && (match gd.status with Liteos.Dead _ -> false | _ -> true)
+  in
+  probe ~at probes ~name:"sibling"
+    ~detail:
+      (Printf.sprintf "guard progress %d -> %d" !progress_before progress)
+    ~ok:sibling_alive;
+  let kills =
+    List.filter (fun (_, r) -> r <> "exit") (Liteos.casualties l)
+  in
+  let protection_kill =
+    List.exists (fun (_, r) -> is_protection_reason r) kills
+  in
+  let unexplained =
+    List.filter (fun (_, r) -> not (is_protection_reason r)) kills
+  in
+  probe ~at probes ~name:"kill"
+    ~detail:
+      (match kills with
+       | [] -> "no thread killed"
+       | ks ->
+         String.concat "; "
+           (List.map (fun (n, r) -> Printf.sprintf "%s: %s" n r) ks))
+    ~ok:(unexplained = []);
+  let halted_wild =
+    match !last_stop with
+    | Machine.Cpu.Halted Machine.Cpu.Break_hit -> false
+    | Machine.Cpu.Halted _ -> true
+    | _ -> false
+  in
+  let verdict =
+    classify ~halted_wild
+      ~sibling_damage:(!bad > 0)
+      ~hijack:(!hijack <> None)
+      ~responsive ~protection_kill
+      ~kernel_alive:(not halted_wild)
+      ~sibling_alive
+  in
+  (verdict, List.rev !probes, frames, responsive, None, l.m.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Maté VM driver                                                      *)
+
+let run_matevm ~trace ~mote ~packet () =
+  let vm =
+    Matevm.create
+      (Matevm.rx_capsule ~sync:Packet.sync ~canary:Programs.Rx_vuln.canary_fill)
+  in
+  let inject bytes = List.iter (Matevm.inject_rx vm) bytes in
+  let frames_before = ref 0 in
+  let probes = ref [] in
+  let probe = mk_probe trace ~mote in
+  List.iter
+    (fun g ->
+      if g = t_attack + sample_step then inject packet;
+      if g = t_benign then inject Packet.benign;
+      if not vm.halted then ignore (Matevm.run ~max_cycles:g vm);
+      if g = t_benign - 1 then frames_before := vm.heap.(Matevm.rx_frames_slot))
+    (List.sort_uniq compare
+       ((t_attack + sample_step) :: t_benign :: sample_grid));
+  let at = vm.cycles in
+  let bad = ref 0 in
+  for i = 0 to Matevm.rx_canary_slots - 1 do
+    if vm.heap.(Matevm.rx_canary_base + i) <> Programs.Rx_vuln.canary_fill then
+      incr bad
+  done;
+  probe ~at probes ~name:"canary"
+    ~detail:
+      (if !bad = 0 then "heap canary intact"
+       else Printf.sprintf "heap canary: %d slot(s) clobbered" !bad)
+    ~ok:(!bad = 0);
+  let frames = vm.heap.(Matevm.rx_frames_slot) in
+  let responsive = (not vm.halted) && frames > !frames_before in
+  probe ~at probes ~name:"liveness"
+    ~detail:
+      (Printf.sprintf "capsule frames %d -> %d after benign probe"
+         !frames_before frames)
+    ~ok:responsive;
+  let protection_kill = vm.trap <> None in
+  probe ~at probes ~name:"kill"
+    ~detail:
+      (match vm.trap with
+       | Some r -> r
+       | None -> if vm.halted then "capsule halted" else "capsule running")
+    ~ok:(vm.trap <> None || not vm.halted);
+  let verdict =
+    classify ~halted_wild:false
+      ~sibling_damage:(!bad > 0)
+      ~hijack:false ~responsive ~protection_kill ~kernel_alive:true
+      ~sibling_alive:false
+  in
+  (verdict, List.rev !probes, frames, responsive, None, vm.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Per-system packet selection                                         *)
+
+(* The attacker aims the same logical attack everywhere; only embedded
+   addresses differ, each computed from the target system's own
+   tables.  The fill bytes and flood length come from the trial rng so
+   campaigns sweep payload variety deterministically. *)
+
+let flood_packet rng =
+  let len = 64 + (next rng mod 150) in
+  Packet.flood ~len ~fill:(fun _ -> next_byte rng)
+
+(* SenSmart: aim the clobber at the guard's naturalized entry (reuse a
+   sibling's resident code) and the chain at the kernel cells. *)
+let sensmart_packet ~cls ~rng (k : Kernel.t) =
+  let rx = Kernel.find_task k 0 and gd = Kernel.find_task k 1 in
+  match cls with
+  | Flood -> flood_packet rng
+  | Clobber ->
+    Packet.clobber ~y:0x10F3 ~ret:gd.nat.entry ~fill:(fun _ -> next_byte rng) ()
+  | Chain ->
+    Packet.chain
+      ~target:Rewriter.Kcells.cells_base
+      ~rf_ldx:(nat_label rx "rf_ldx")
+      ~payload:(List.init 6 (fun _ -> next_byte rng))
+      ~fill:(fun _ -> next_byte rng)
+
+let tkernel_packet ~cls ~rng (rw : Tkernel.Rewrite.t) =
+  match cls with
+  | Flood -> flood_packet rng
+  | Clobber ->
+    (* No sibling code to reuse: a blind return into unmapped flash. *)
+    Packet.clobber ~y:(tk_sp_top - 12) ~ret:0x6000
+      ~fill:(fun _ -> next_byte rng)
+      ()
+  | Chain ->
+    let rf_ldx =
+      match Hashtbl.find_opt rw.addr_map (text_addr rw.source "rf_ldx") with
+      | Some a -> a
+      | None -> text_addr rw.source "rf_ldx"
+    in
+    Packet.chain ~target:Rewriter.Kcells.cells_base ~rf_ldx
+      ~payload:(List.init 6 (fun _ -> next_byte rng))
+      ~fill:(fun _ -> next_byte rng)
+
+let liteos_packet ~cls ~rng ~(rx : Liteos.thread) ~(gd : Liteos.thread) =
+  match cls with
+  | Flood -> flood_packet rng
+  | Clobber ->
+    Packet.clobber ~y:(rx.stack_top - 12) ~ret:gd.img.entry
+      ~fill:(fun _ -> next_byte rng)
+      ()
+  | Chain ->
+    (* Physical addressing: aim the write-anywhere at the guard's
+       canary, straight across the partition boundary. *)
+    Packet.chain
+      ~target:(data_addr gd.img "canary")
+      ~rf_ldx:(text_addr rx.img "rf_ldx")
+      ~payload:(List.init 6 (fun _ -> next_byte rng))
+      ~fill:(fun _ -> next_byte rng)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+type matrix = {
+  seed : int;
+  trials : trial list;
+  trace : Trace.t;
+      (** probe events for every trial plus the aggregated ["attack.*"]
+          counters *)
+}
+
+let probe_names =
+  [ "pc_bounds"; "canary"; "invariants"; "liveness"; "sibling"; "kill";
+    "recovery" ]
+
+let seed_counters trace systems =
+  Trace.set_counter trace "attack.trials" 0;
+  List.iter
+    (fun v -> Trace.set_counter trace ("attack." ^ verdict_name v) 0)
+    [ Contained; Degraded; Escaped; Bricked ];
+  List.iter
+    (fun p -> Trace.set_counter trace ("attack.probe." ^ p) 0)
+    probe_names;
+  Trace.set_counter trace "attack.recovered" 0;
+  Trace.set_counter trace "attack.recovery_cycles_total" 0;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c ->
+          Trace.set_counter trace
+            (Printf.sprintf "attack.%s.%s" s (cls_name c))
+            0)
+        all_classes)
+    systems
+
+let run_trial ?(tier = 1) ~trace ~seed ~system ~cls ~index () =
+  let mix =
+    splitmix
+      (seed
+      lxor (Hashtbl.hash (system, cls_name cls) * 0x9E37)
+      lxor (index * 0x85EB))
+  in
+  let rng = rng_of mix in
+  let packet = ref [] in
+  let verdict, probes, frames, responsive, recovery, cycles =
+    match system with
+    | "sensmart" ->
+      (* The packet needs the booted kernel's tables; craft inside. *)
+      let rx_img = Asm.Assembler.assemble (Programs.Rx_vuln.receiver ()) in
+      let gd_img = Asm.Assembler.assemble (Programs.Rx_vuln.guard ()) in
+      let probe_kernel = Kernel.boot [ rx_img; gd_img ] in
+      packet := sensmart_packet ~cls ~rng probe_kernel;
+      run_sensmart ~tier ~trace ~mote:index
+        ~packets:[ (t_attack, !packet) ]
+        ()
+    | "tkernel" ->
+      let src =
+        Asm.Assembler.assemble (Programs.Rx_vuln.receiver ~sp_top:tk_sp_top ())
+      in
+      let rw = Tkernel.Rewrite.run src in
+      packet := tkernel_packet ~cls ~rng rw;
+      run_tkernel ~tier ~trace ~mote:index ~packet:!packet ()
+    | "liteos" ->
+      run_liteos ~tier ~trace ~mote:index
+        ~mk_packet:(fun ~rx ~gd ->
+          let p = liteos_packet ~cls ~rng ~rx ~gd in
+          packet := p;
+          p)
+        ()
+    | "matevm" ->
+      (* Address-free: reuse the SenSmart byte stream shape — to the VM
+         it is all data. *)
+      packet :=
+        (match cls with
+         | Flood -> flood_packet rng
+         | Clobber ->
+           Packet.clobber ~y:0x10F3 ~ret:0x0100 ~fill:(fun _ -> next_byte rng) ()
+         | Chain ->
+           Packet.chain ~target:0x10F0 ~rf_ldx:0x0100
+             ~payload:(List.init 6 (fun _ -> next_byte rng))
+             ~fill:(fun _ -> next_byte rng));
+      run_matevm ~trace ~mote:index ~packet:!packet ()
+    | s -> invalid_arg (Printf.sprintf "attack: unknown system %S" s)
+  in
+  { system; cls; index; packet = !packet; verdict; probes; frames; responsive;
+    recovery_cycles = recovery; cycles }
+
+(** Run the full campaign: [trials] seeded packet variants of every
+    attack class against every system.  Same arguments, same matrix —
+    across execution tiers ([tier]) and on any host. *)
+let campaign ?(tier = 1) ?(trials = 2) ?(seed = 1)
+    ?(systems = all_systems) () : matrix =
+  let trace = Trace.create ~capacity:16384 () in
+  seed_counters trace systems;
+  let trials_out = ref [] in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun cls ->
+          for index = 0 to trials - 1 do
+            let t = run_trial ~tier ~trace ~seed ~system ~cls ~index () in
+            trials_out := t :: !trials_out;
+            Trace.incr trace "attack.trials";
+            Trace.incr trace ("attack." ^ verdict_name t.verdict);
+            List.iter
+              (fun p ->
+                if not p.ok then Trace.incr trace ("attack.probe." ^ p.pname))
+              t.probes;
+            (match t.recovery_cycles with
+             | Some c ->
+               Trace.incr trace "attack.recovered";
+               Trace.incr ~by:c trace "attack.recovery_cycles_total"
+             | None -> ());
+            let key = Printf.sprintf "attack.%s.%s" system (cls_name cls) in
+            Trace.set_counter trace key
+              (max (Trace.counter trace key) (verdict_rank t.verdict))
+          done)
+        all_classes)
+    systems;
+  { seed; trials = List.rev !trials_out; trace }
+
+(** Worst verdict of a (system, class) cell; [None] when untested. *)
+let cell m system cls =
+  List.fold_left
+    (fun acc t ->
+      if t.system = system && t.cls = cls then
+        Some (match acc with None -> t.verdict | Some v -> worst v t.verdict)
+      else acc)
+    None m.trials
+
+(** Classes a system fully contained (worst verdict [Contained]). *)
+let contained_classes m system =
+  List.filter (fun c -> cell m system c = Some Contained) all_classes
+
+let pp_matrix fmt (m : matrix) =
+  let systems =
+    List.filter
+      (fun s -> List.exists (fun t -> t.system = s) m.trials)
+      all_systems
+  in
+  Format.fprintf fmt "attack containment matrix (seed %d, %d trials)@,"
+    m.seed (List.length m.trials);
+  Format.fprintf fmt "%-10s" "";
+  List.iter (fun c -> Format.fprintf fmt " %-10s" (cls_name c)) all_classes;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-10s" s;
+      List.iter
+        (fun c ->
+          Format.fprintf fmt " %-10s"
+            (match cell m s c with
+             | Some v -> verdict_name v
+             | None -> "-"))
+        all_classes;
+      Format.pp_print_newline fmt ())
+    systems;
+  List.iter
+    (fun (t : trial) ->
+      Format.fprintf fmt "  %s/%s#%d: %a (frames=%d%s%s)@," t.system
+        (cls_name t.cls) t.index pp_verdict t.verdict t.frames
+        (if t.responsive then ", responsive" else ", unresponsive")
+        (match t.recovery_cycles with
+         | Some c -> Printf.sprintf ", recovered in %d cycles" c
+         | None -> "");
+      List.iter
+        (fun p ->
+          if not p.ok then
+            Format.fprintf fmt "    ! %s: %s@," p.pname p.detail)
+        t.probes)
+    m.trials
+
+(* ------------------------------------------------------------------ *)
+(* Raw-packet replay (the CLI's --packet)                              *)
+
+(** Replay explicit raw packets against the SenSmart receiver+guard
+    pair: packet [i] is delivered at [t_attack + i * spacing], the
+    benign liveness probe and the full probe battery run as in a
+    campaign trial. *)
+let replay ?(tier = 1) ?(spacing = 150_000) packets : trial * Trace.t =
+  let trace = Trace.create ~capacity:16384 () in
+  let timed = List.mapi (fun i p -> (t_attack + (i * spacing), p)) packets in
+  let verdict, probes, frames, responsive, recovery, cycles =
+    run_sensmart ~tier ~trace ~mote:0 ~packets:timed ()
+  in
+  ( { system = "sensmart"; cls = Flood; index = 0;
+      packet = List.concat packets; verdict; probes; frames; responsive;
+      recovery_cycles = recovery; cycles },
+    trace )
+
+(** Parse a hex packet spec ("a7 0c 01..." — spaces optional), reusing
+    the fault engine's byte parser so CLI errors are uniform. *)
+let packet_of_spec spec =
+  match Fault.Plan.injection_of_spec (Printf.sprintf "0:frame:%s" spec) with
+  | Ok { kind = Fault.Radio_frame { bytes }; _ } -> Ok bytes
+  | Ok _ -> Error "unexpected injection kind"
+  | Error e -> Error e
+
+(** A deterministic fingerprint of a campaign, for identity tests:
+    tier-0 and tier-1 campaigns must produce equal strings. *)
+let fingerprint (m : matrix) =
+  String.concat "\n"
+    (List.map
+       (fun t ->
+         Printf.sprintf "%s/%s#%d %s frames=%d resp=%b rec=%s cyc=%d [%s] %s"
+           t.system (cls_name t.cls) t.index (verdict_name t.verdict) t.frames
+           t.responsive
+           (match t.recovery_cycles with
+            | Some c -> string_of_int c
+            | None -> "-")
+           t.cycles
+           (String.concat ";"
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "%s=%b:%s" p.pname p.ok p.detail)
+                 t.probes))
+           (Format.asprintf "%a" Packet.pp_bytes t.packet))
+       m.trials)

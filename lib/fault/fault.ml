@@ -22,6 +22,7 @@ type kind =
   | Flash_flip of { waddr : int; xor : int }
   | Radio_corrupt of { index : int; xor : int }
   | Radio_drop of { count : int }
+  | Radio_frame of { bytes : int list }
   | Adc_stuck of { value : int }
   | Adc_noise of { xor : int }
   | Crash
@@ -39,6 +40,9 @@ let describe = function
   | Flash_flip { waddr; xor } -> Fmt.str "flash_flip@0x%04X^0x%04X" waddr xor
   | Radio_corrupt { index; xor } -> Fmt.str "radio_corrupt[%d]^0x%02X" index xor
   | Radio_drop { count } -> Fmt.str "radio_drop(%d)" count
+  | Radio_frame { bytes } ->
+    Fmt.str "radio_frame[%s]"
+      (String.concat "" (List.map (Printf.sprintf "%02x") bytes))
   | Adc_stuck { value } -> Fmt.str "adc_stuck=%d" value
   | Adc_noise { xor } -> Fmt.str "adc_noise^0x%03X" xor
   | Crash -> "crash"
@@ -53,6 +57,7 @@ let counter_name = function
   | Flash_flip _ -> "fault.flash_flip"
   | Radio_corrupt _ -> "fault.radio_corrupt"
   | Radio_drop _ -> "fault.radio_drop"
+  | Radio_frame _ -> "fault.radio_frame"
   | Adc_stuck _ -> "fault.adc_stuck"
   | Adc_noise _ -> "fault.adc_noise"
   | Crash -> "fault.crash"
@@ -125,6 +130,89 @@ module Plan = struct
     in
     { seed; injections = sort (gen n []) }
 
+  (* Typed range checks, shared by every spec parser in the CLI
+     ([--inject] and [attack --packet]): a bad field is a one-line
+     [Error], never a raw exception or a silently ignored injection. *)
+  let validate (i : injection) =
+    let err fmt = Fmt.kstr Result.error fmt in
+    let in_range what v lo hi =
+      if v < lo || v > hi then
+        err "%s: %s %d out of range [%d, %d]" (describe i.kind) what v lo hi
+      else Ok ()
+    in
+    let ( let* ) = Result.bind in
+    let* () = in_range "cycle" i.at 0 max_int in
+    let* () = in_range "mote" i.mote 0 0xFFFF in
+    match i.kind with
+    | Sram_flip { addr; bit } ->
+      let* () = in_range "addr" addr 0 (Machine.Layout.data_size - 1) in
+      let* () = in_range "bit" bit 0 7 in
+      Ok i
+    | Sram_burst { addr; len; xor } ->
+      let* () = in_range "addr" addr 0 (Machine.Layout.data_size - 1) in
+      let* () = in_range "len" len 1 Machine.Layout.data_size in
+      let* () =
+        in_range "end" (addr + len) 1 Machine.Layout.data_size
+      in
+      let* () = in_range "xor" xor 1 0xFF in
+      Ok i
+    | Reg_flip { reg; bit } ->
+      let* () = in_range "reg" reg 0 31 in
+      let* () = in_range "bit" bit 0 7 in
+      Ok i
+    | Sreg_flip { bit } ->
+      let* () = in_range "bit" bit 0 7 in
+      Ok i
+    | Flash_flip { waddr; xor } ->
+      let* () = in_range "waddr" waddr 0 (Machine.Layout.flash_words - 1) in
+      let* () = in_range "xor" xor 1 0xFFFF in
+      Ok i
+    | Radio_corrupt { index; xor } ->
+      let* () = in_range "index" index 0 0xFFFF in
+      let* () = in_range "xor" xor 1 0xFF in
+      Ok i
+    | Radio_drop { count } ->
+      let* () = in_range "count" count 1 0xFFFF in
+      Ok i
+    | Radio_frame { bytes } ->
+      let* () = in_range "frame length" (List.length bytes) 1 4096 in
+      let rec bytes_ok = function
+        | [] -> Ok i
+        | b :: rest ->
+          let* () = in_range "byte" b 0 0xFF in
+          bytes_ok rest
+      in
+      bytes_ok bytes
+    | Adc_stuck { value } ->
+      let* () = in_range "value" value 0 0x3FF in
+      Ok i
+    | Adc_noise { xor } ->
+      let* () = in_range "xor" xor 1 0x3FF in
+      Ok i
+    | Clock_drift { cycles } ->
+      let* () = in_range "cycles" cycles 1 max_int in
+      Ok i
+    | Crash | Reboot -> Ok i
+
+  (* "a7 05 41..." or "a70541...": hex bytes, spaces optional. *)
+  let bytes_of_hex s =
+    let compact =
+      String.concat ""
+        (String.split_on_char ' ' (String.trim s))
+    in
+    let n = String.length compact in
+    if n = 0 || n mod 2 <> 0 then
+      Error (Fmt.str "bad hex byte string %S (need an even digit count)" s)
+    else
+      let rec go i acc =
+        if i >= n then Ok (List.rev acc)
+        else
+          match int_of_string_opt ("0x" ^ String.sub compact i 2) with
+          | Some b -> go (i + 2) (b :: acc)
+          | None -> Error (Fmt.str "bad hex byte %S in %S" (String.sub compact i 2) s)
+      in
+      go 0 []
+
   let injection_of_spec s =
     let ( let* ) = Result.bind in
     let int_of f =
@@ -175,6 +263,9 @@ module Plan = struct
         | [ "radio_drop"; c ] ->
           let* count = int_of c in
           Ok (Radio_drop { count })
+        | [ "frame"; hex ] ->
+          let* bytes = bytes_of_hex hex in
+          Ok (Radio_frame { bytes })
         | [ "adc_stuck"; v ] ->
           let* value = int_of v in
           Ok (Adc_stuck { value })
@@ -190,10 +281,11 @@ module Plan = struct
           Error
             (Fmt.str
                "unknown fault kind in %S (see sram/burst/reg/sreg/flash/\
-                radio_corrupt/radio_drop/adc_stuck/adc_noise/crash/reboot/drift)"
+                radio_corrupt/radio_drop/frame/adc_stuck/adc_noise/crash/\
+                reboot/drift)"
                s)
       in
-      Ok { at; mote; kind }
+      validate { at; mote; kind }
 
   let pp fmt t =
     let n = List.length t.injections in
@@ -232,6 +324,15 @@ let apply (k : Kernel.t) = function
   | Radio_corrupt { index; xor } ->
     ignore (Machine.Io.corrupt_rx k.m.io ~index ~xor)
   | Radio_drop { count } -> ignore (Machine.Io.drop_rx k.m.io ~count)
+  | Radio_frame { bytes } ->
+    (* bytes arrive back to back at the radio's reception rate, exactly
+       as a neighbour's transmission would through [Net.exchange] *)
+    List.iteri
+      (fun i b ->
+        Machine.Io.inject_rx k.m.io ~cycles:k.m.cycles
+          ~after:((i + 1) * Machine.Io.radio_byte_cycles)
+          (b land 0xFF))
+      bytes
   | Adc_stuck { value } ->
     k.m.io.adc_start <- None;
     k.m.io.adc_value <- value land 0x3FF
@@ -353,6 +454,7 @@ module Campaign = struct
     clean_exits : int;
     faulted : int;
     contained : bool;
+    reason : string;
   }
 
   type report = { seed : int; trials : trial list; trace : Trace.t }
@@ -387,15 +489,43 @@ module Campaign = struct
       let faulted =
         List.length (List.filter (fun (_, r) -> r <> "exit") outcomes)
       in
-      let contained =
-        (match stop with
-         | Machine.Cpu.Halted Machine.Cpu.Break_hit | Machine.Cpu.Out_of_fuel ->
-           true
-         | _ -> false)
-        &&
+      (* The verdict and its evidence.  PR 5 dropped the evidence on the
+         floor; the attack matrix needs it, so record which check failed
+         (and at what cycle), or what contained the damage. *)
+      let survived =
+        match stop with
+        | Machine.Cpu.Halted Machine.Cpu.Break_hit | Machine.Cpu.Out_of_fuel ->
+          true
+        | _ -> false
+      in
+      let invariant_failure =
         match Kernel.check_invariants k with
-        | () -> true
-        | exception Failure _ -> false
+        | () -> None
+        | exception Failure msg -> Some msg
+      in
+      let contained = survived && invariant_failure = None in
+      let reason =
+        if not survived then
+          Fmt.str "mote dead at cycle %d (%a)" k.m.cycles Machine.Cpu.pp_stop
+            stop
+        else
+          match invariant_failure with
+          | Some msg -> Fmt.str "invariant violated: %s" msg
+          | None ->
+            let first_kill =
+              List.find_opt
+                (fun (e : Trace.event) ->
+                  match e.kind with
+                  | Trace.Terminated { reason; _ } -> reason <> "exit"
+                  | _ -> false)
+                (Kernel.event_log k)
+            in
+            (match first_kill with
+             | Some { at; kind = Trace.Terminated { task; reason }; _ } ->
+               Fmt.str "task %d killed at cycle %d (%s); siblings unharmed"
+                 task at reason
+             | _ when faulted = 0 -> "no task harmed"
+             | _ -> "faulted tasks contained")
       in
       { index;
         plan;
@@ -404,7 +534,8 @@ module Campaign = struct
         cycles = k.m.cycles;
         clean_exits;
         faulted;
-        contained }
+        contained;
+        reason }
     in
     let rec go i acc = if i = trials then List.rev acc else go (i + 1) (one i :: acc) in
     let ts = go 0 [] in
@@ -423,10 +554,10 @@ module Campaign = struct
     Fmt.pf fmt "trial  injected  clean  faulted  contained      cycles  stop";
     List.iter
       (fun t ->
-        Fmt.pf fmt "@,%5d  %8d  %5d  %7d  %9s  %10d  %s" t.index t.injected
-          t.clean_exits t.faulted
+        Fmt.pf fmt "@,%5d  %8d  %5d  %7d  %9s  %10d  %s@,%s%s" t.index
+          t.injected t.clean_exits t.faulted
           (if t.contained then "yes" else "NO")
-          t.cycles t.stop)
+          t.cycles t.stop "       `- " t.reason)
       r.trials;
     Fmt.pf fmt "@]"
 end

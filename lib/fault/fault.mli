@@ -35,6 +35,12 @@ type kind =
   | Radio_drop of { count : int }
       (** drop up to [count] pending received bytes — a loss burst,
           beyond the network's steady LFSR loss model *)
+  | Radio_frame of { bytes : int list }
+      (** deliver a crafted frame to this mote's radio: the bytes are
+          queued back to back at the radio's reception rate
+          ({!Machine.Io.radio_byte_cycles} apart), exactly as a
+          neighbour's transmission would arrive through [Net.exchange].
+          The delivery vector of [lib/attack]'s adversarial campaigns. *)
   | Adc_stuck of { value : int }
       (** the sensor reads [value]: any in-flight conversion is
           cancelled and the latched sample replaced (stuck until the
@@ -90,8 +96,15 @@ module Plan : sig
       - ["120000:reg:27:7"] / ["120000:sreg:3"]
       - ["120000:flash:0x123:0xFF"] — XOR flash word 0x123
       - ["120000:radio_corrupt:0:0xFF"] / ["120000:radio_drop:3"]
+      - ["120000:frame:a7 05 41 42 43 44 45"] — crafted radio frame,
+        hex bytes with optional spaces
       - ["120000:adc_stuck:512"] / ["120000:adc_noise:0x155"]
-      - ["200000@1:crash"] / ["250000@1:reboot"] / ["150000:drift:5000"] *)
+      - ["200000@1:crash"] / ["250000@1:reboot"] / ["150000:drift:5000"]
+
+      Every parsed injection is range-validated (addresses against the
+      data/flash spaces, bit indices against register width, byte values
+      against 0..255, lengths and counts against sane bounds); a bad
+      field is a one-line typed [Error], never a raw exception. *)
   val injection_of_spec : string -> (injection, string) result
 
   val pp : Format.formatter -> t -> unit
@@ -146,6 +159,10 @@ module Campaign : sig
     contained : bool;
         (** the mote survived: no residual machine halt other than
             normal termination, and {!Kernel.check_invariants} holds *)
+    reason : string;
+        (** the verdict's evidence: which check failed at what cycle
+            (dead mote, violated invariant), or what contained the
+            damage (first kernel kill, clean exits) *)
   }
 
   type report = {

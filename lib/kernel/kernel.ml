@@ -335,21 +335,28 @@ let handle_syscall k _m n =
       else (logical_now land 0x00FF) lor ((arg land 0xFF) lsl 8)
     in
     let phys = (logical + Task.sdisp t) land 0xFFFF in
-    (* Grow until the requested SP leaves the reserve intact, or the
-       task dies trying. *)
-    let rec ensure phys =
-      if phys - Kcells.stack_reserve <= Task.floor_phys t then begin
-        if grow_stack k t then
-          (* The stack moved: recompute the physical target. *)
-          ensure ((logical + Task.sdisp t) land 0xFFFF)
-        else -1
+    if logical >= Machine.Layout.data_size then
+      (* A logical SP above the address-space top would place the stack
+         inside a sibling's region (the translation maps logical 0x1100
+         to physical p_u); a hijacked task is the only code that asks. *)
+      terminate k t "memory protection fault"
+    else begin
+      (* Grow until the requested SP leaves the reserve intact, or the
+         task dies trying. *)
+      let rec ensure phys =
+        if phys - Kcells.stack_reserve <= Task.floor_phys t then begin
+          if grow_stack k t then
+            (* The stack moved: recompute the physical target. *)
+            ensure ((logical + Task.sdisp t) land 0xFFFF)
+          else -1
+        end
+        else phys
+      in
+      let phys = ensure phys in
+      if phys >= 0 then begin
+        m.sp <- phys;
+        t.min_headroom <- min t.min_headroom (phys - Task.floor_phys t)
       end
-      else phys
-    in
-    let phys = ensure phys in
-    if phys >= 0 then begin
-      m.sp <- phys;
-      t.min_headroom <- min t.min_headroom (phys - Task.floor_phys t)
     end
   end
   else if n = Kcells.sys_timer3 then begin

@@ -29,6 +29,10 @@ type op =
   | GetTimer  (** push the 16-bit global clock (Timer3 ticks) *)
   | Sleep  (** yield until the next timer event *)
   | Halt
+  | Loadi  (** pop a heap index, push that slot; out of bounds traps *)
+  | Storei  (** pop a heap index, pop a value, store; bounds-checked *)
+  | RxAvail  (** push 1 when a received radio byte is pending, else 0 *)
+  | Recv  (** pop nothing, push the next received byte; empty traps *)
 
 let dispatch_cycles = 100
 let op_cycles = 8
@@ -37,17 +41,27 @@ type vm = {
   code : op array;
   heap : int array;
   stack : int Stack.t;
+  rx : int Queue.t;  (** received radio bytes awaiting {!Recv} *)
   mutable pc : int;
   mutable cycles : int;
   mutable idle_cycles : int;
   mutable executed : int;
   mutable halted : bool;
+  mutable trap : string option;
+      (** why the VM killed the capsule: a failed run-time check
+          ([Storei]/[Loadi] out of heap bounds, [Recv] on an empty
+          queue).  [None] for a voluntary [Halt]. *)
 }
 
 let create code = {
   code; heap = Array.make 64 0; stack = Stack.create ();
+  rx = Queue.create ();
   pc = 0; cycles = 0; idle_cycles = 0; executed = 0; halted = false;
+  trap = None;
 }
+
+(** Queue one received radio byte (the attack/network delivery hook). *)
+let inject_rx vm b = Queue.add (b land 0xFF) vm.rx
 
 exception Stack_underflow
 
@@ -87,6 +101,28 @@ let step vm =
       vm.idle_cycles <- vm.idle_cycles + (wake - vm.cycles);
       vm.cycles <- wake
     | Halt -> vm.halted <- true
+    | Loadi ->
+      let i = pop vm in
+      if i < Array.length vm.heap then push vm vm.heap.(i)
+      else begin
+        vm.trap <- Some (Printf.sprintf "vm: heap load out of bounds (%d)" i);
+        vm.halted <- true
+      end
+    | Storei ->
+      let i = pop vm in
+      let v = pop vm in
+      if i < Array.length vm.heap then vm.heap.(i) <- v
+      else begin
+        vm.trap <- Some (Printf.sprintf "vm: heap store out of bounds (%d)" i);
+        vm.halted <- true
+      end
+    | RxAvail -> push vm (if Queue.is_empty vm.rx then 0 else 1)
+    | Recv ->
+      (match Queue.take_opt vm.rx with
+       | Some b -> push vm b
+       | None ->
+         vm.trap <- Some "vm: recv on empty queue";
+         vm.halted <- true)
   end
 
 let run ?(max_cycles = 2_000_000_000) vm =
@@ -128,4 +164,53 @@ let periodic_capsule ~period ~activations ~comp_units : op array =
   emit (Load 1); emit (Pushc 1); emit Add; emit Dup; emit (Store 1);
   emit (Pushc activations); emit (Jlt outer);
   emit Halt;
+  Array.of_list (List.rev !code)
+
+(* Heap layout of {!rx_capsule}. *)
+let rx_frames_slot = 0
+let rx_canary_base = 8
+let rx_canary_slots = 8
+let rx_buf_base = 56
+let rx_buf_slots = 8
+
+(** Bytecode analogue of {!Programs.Rx_vuln.receiver}: sync on [sync]
+    frames and copy the length-prefixed payload into an 8-slot buffer
+    at the top of the heap, trusting the attacker's length byte exactly
+    like the native receiver.  The VM, not the capsule, is the
+    protection boundary: the copy indexes the heap dynamically, so a
+    payload longer than the buffer runs [Storei] past slot 63 and the
+    bounds check traps the capsule — Maté's "can't write outside the
+    sandbox" property.  Slot {!rx_frames_slot} counts frames processed;
+    slots [rx_canary_base..+rx_canary_slots-1] hold a canary written
+    once at startup. *)
+let rx_capsule ~sync ~canary : op array =
+  let code = ref [] and n = ref 0 in
+  let emit o = incr n; code := o :: !code in
+  let here () = !n in
+  (* canary fill *)
+  for i = 0 to rx_canary_slots - 1 do
+    emit (Pushc canary); emit (Store (rx_canary_base + i))
+  done;
+  let loop = here () in
+  emit RxAvail;
+  emit (Jnz (loop + 4));
+  emit Sleep; emit (Jmp loop);
+  (* got a byte: sync check *)
+  emit Recv; emit (Pushc sync); emit Sub; emit (Jnz loop);
+  emit Recv; emit (Store 1);  (* len *)
+  emit (Pushc 0); emit (Store 2);  (* i *)
+  let copy = here () in
+  (* while i < len: buf[i] := Recv; i++ *)
+  emit (Load 2); emit (Load 1);
+  emit (Jlt (copy + 4));
+  emit (Jmp (copy + 14));
+  emit Recv;
+  emit (Pushc rx_buf_base); emit (Load 2); emit Add;
+  emit Storei;
+  emit (Load 2); emit (Pushc 1); emit Add; emit (Store 2);
+  emit (Jmp copy);
+  (* frame done *)
+  emit (Load rx_frames_slot); emit (Pushc 1); emit Add;
+  emit (Store rx_frames_slot);
+  emit (Jmp loop);
   Array.of_list (List.rev !code)

@@ -1,0 +1,134 @@
+(* Deliberately vulnerable radio-frame receiver, plus an innocent
+   bystander, for the adversarial campaigns of [lib/attack].
+
+   The receiver implements the classic stack-smashing victim of
+   Francillon & Castelluccia's AVR code-injection attack (CCS'08,
+   arXiv:0901.3482): a frame handler that copies a length-prefixed
+   payload into a fixed 8-byte stack buffer without checking the
+   length.  A frame longer than the buffer walks over the saved frame
+   pointer and the return address; a 12-byte frame replaces exactly
+   those four bytes and nothing else, which is the attacker's remote
+   program-counter write.
+
+   The handler is written out by hand rather than with [Asm.Macros.fn]
+   so that its internals carry labels: every label lands in the image's
+   symbol table, giving attack campaigns a principled way to compute
+   gadget addresses ("rf_ldx" re-enters the copy loop with X free — the
+   paper's injection bootstrap; "rf_setsp" is an SP-hijack gadget) in
+   original or naturalized coordinates.
+
+   Both programs take [?sp_top] because the comparison kernels place
+   stacks differently: SenSmart tasks own the whole logical address
+   space, LiteOS threads get a private physical partition, and under
+   t-kernel the sole application must stay below the protected kernel
+   area. *)
+
+open Asm.Macros
+
+(** First byte of every frame; anything else is ignored noise. *)
+let sync_byte = 0xA7
+
+(** The handler's stack buffer — the distance from a frame's first
+    payload byte to the saved frame pointer and return address. *)
+let buf_bytes = 8
+
+(* Blocking read of one radio byte into r24; clobbers r16. *)
+let read_byte_fn =
+  let wait = fresh "rbwait" in
+  leaf "read_byte"
+    [ lbl wait;
+      in_ 16 Machine.Io.radio_status;
+      andi 16 Machine.Io.rx_avail_bit;
+      breq wait;
+      in_ 24 Machine.Io.radio_data ]
+
+(** The receiver task: sleeps on the radio, syncs on {!sync_byte}, and
+    feeds every frame through the unchecked copy in [recv_frame].  The
+    16-bit data word ["frames"] counts frames fully processed — the
+    liveness signal attack campaigns probe after the attack volley. *)
+let receiver ?(name = "rx_vuln") ?(sp_top = Machine.Layout.data_size - 1) () =
+  let wait = fresh "rxwait" and got = fresh "rxgot" in
+  Asm.Ast.program name
+    ~data:
+      [ { Asm.Ast.dname = "frames"; size = 2; init = [] };
+        { Asm.Ast.dname = "sum"; size = 2; init = [] };
+        Common.result_var ]
+    ((lbl "start" :: sp_init_at sp_top)
+    @ [ lbl wait;
+        in_ 16 Machine.Io.radio_status;
+        andi 16 Machine.Io.rx_avail_bit;
+        brne got;
+        sleep;
+        rjmp wait;
+        lbl got;
+        rcall "read_byte";
+        cpi 24 sync_byte;
+        brne wait;
+        rcall "recv_frame";
+        (* frames++ — only reached when recv_frame returns here. *)
+        lds 16 "frames"; subi 16 0xFF; sts "frames" 16;
+        lds_off 16 "frames" 1; sbci 16 0xFF; sts_off "frames" 1 16;
+        rjmp wait ]
+    @ read_byte_fn
+    (* recv_frame: an fn-shaped frame handler, written out so its guts
+       are labelled.  Stack at entry of the copy loop, ascending:
+         Y+1 .. Y+8   the 8-byte payload buffer
+         Y+9, Y+10    saved r29:r28 (caller frame pointer, hi then lo)
+         Y+11, Y+12   return address (hi then lo)
+       The copy loop trusts the attacker-supplied length byte, so bytes
+       9.. of a frame overwrite saved Y and the return address. *)
+    @ [ lbl "recv_frame";
+        push 28; push 29;
+        in_ 28 Machine.Io.spl; in_ 29 Machine.Io.sph;
+        sbiw 28 buf_bytes;
+        out Machine.Io.spl 28; out Machine.Io.sph 29;
+        (* X := first buffer byte.  Re-entering here after the length
+           read ("rf_ldx" with a forged saved Y) turns the loop into a
+           write-anywhere primitive fed by the radio. *)
+        lbl "rf_ldx";
+        movw 26 28; adiw 26 1;
+        lbl "rf_len";
+        rcall "read_byte"; mov 22 24;
+        lbl "rf_fill";
+        cpi 22 0; breq "rf_done";
+        rcall "read_byte";
+        st (Avr.Isa.X_inc) 24;
+        dec 22;
+        rjmp "rf_fill";
+        lbl "rf_done";
+        (* Checksum the buffer so the copy is observable work. *)
+        movw 26 28; adiw 26 1; ldi 24 0 ]
+    @ loop_n 17 buf_bytes [ ld 16 (Avr.Isa.X_inc); add 24 16 ]
+    @ [ sts "sum" 24;
+        lbl "rf_epi";
+        adiw 28 buf_bytes;
+        lbl "rf_setsp";
+        out Machine.Io.spl 28; out Machine.Io.sph 29;
+        pop 29; pop 28;
+        ret ])
+
+(** Number of canary bytes in {!guard}'s heap, and their fill value. *)
+let canary_bytes = 16
+
+let canary_fill = 0xC3
+
+(** The bystander task: owns a heap canary it never writes (any change
+    is cross-task damage) and a ["progress"] counter it bumps every
+    compute batch (a stall means the attack starved or killed it). *)
+let guard ?(name = "guard") ?(sp_top = Machine.Layout.data_size - 1) () =
+  let loop = fresh "gloop" in
+  Asm.Ast.program name
+    ~data:
+      [ { Asm.Ast.dname = "canary";
+          size = canary_bytes;
+          init = List.init canary_bytes (fun _ -> canary_fill) };
+        { Asm.Ast.dname = "progress"; size = 2; init = [] };
+        Common.result_var ]
+    ((lbl "start" :: sp_init_at sp_top)
+    @ Common.lfsr_seed 0x5A5A
+    @ [ ldi 22 0xB4; lbl loop ]
+    @ loop_n 18 32 (Common.lfsr_step ~creg:22)
+    @ [ lds 16 "progress"; subi 16 0xFF; sts "progress" 16;
+        lds_off 16 "progress" 1; sbci 16 0xFF; sts_off "progress" 1 16;
+        sleep;
+        rjmp loop ])

@@ -130,6 +130,12 @@ let svc_xlat_body ~heap_end ptr =
     lds_abs 16 Kcells.hdisp_lo; add pl 16;
     lds_abs 16 Kcells.hdisp_hi; adc ph 16; ret;
     lbl l_stack;
+    (* Upper bound first: a logical address at or above the 0x1100
+       address-space top would translate past the task's region top into
+       a sibling's memory (sdisp maps logical 0x1100 to physical p_u).
+       An overflowing buffer fill driven by a malicious radio frame is
+       exactly this access pattern — fault it instead of translating. *)
+    cpi ph ((Machine.Layout.data_size lsr 8) land 0xFF); brcc l_fault;
     lds_abs 16 Kcells.floor_log_lo; cp pl 16;
     lds_abs 16 Kcells.floor_log_hi; cpc ph 16;
     brcs l_fault;

@@ -1,6 +1,12 @@
 (* Execution harness for a t-kernel-rewritten program: one application,
    kernel-only protection, software-trap preemption points, and the
-   on-node rewriting warm-up charged at load time. *)
+   on-node rewriting warm-up charged at load time.
+
+   The harness is split into [start] / [continue] so callers that need
+   to perturb the machine mid-run (the adversarial campaigns of
+   [lib/attack] inject radio frames between bounded segments) see
+   exactly the same execution as one monolithic [run]: [continue] takes
+   an absolute cycle horizon, like {!Machine.Cpu.run_native}. *)
 
 type report = {
   halt : Machine.Cpu.halt option;
@@ -12,9 +18,16 @@ type report = {
   machine : Machine.Cpu.t;
 }
 
+type t = {
+  rw : Rewrite.t;
+  machine : Machine.Cpu.t;
+  traps : int ref;
+  translations : int ref;
+}
+
 let translate_cost n = 40 + (22 * int_of_float (ceil (log (float_of_int (n + 2)) /. log 2.)))
 
-let run ?(max_cycles = 2_000_000_000) (t : Rewrite.t) : report =
+let start (t : Rewrite.t) : t =
   let m = Machine.Cpu.create () in
   Machine.Cpu.load m t.image.words;
   (* Data placement is unchanged by t-kernel rewriting: initialize from
@@ -35,7 +48,7 @@ let run ?(max_cycles = 2_000_000_000) (t : Rewrite.t) : report =
         if k = Rewrite.sys_trap then begin
           incr traps;
           Machine.Cpu.write8 m Rewrite.cnt_cell 0;
-  Machine.Cpu.write8 m Rewrite.page_cell 1;
+          Machine.Cpu.write8 m Rewrite.page_cell 1;
           m.cycles <- m.cycles + 30
         end
         else if k = Rewrite.sys_translate then begin
@@ -58,10 +71,21 @@ let run ?(max_cycles = 2_000_000_000) (t : Rewrite.t) : report =
           m.halted <- Some (Fault "tk: kernel-area access")
         else if k = Rewrite.sys_exit then m.halted <- Some Break_hit
         else m.halted <- Some (Fault (Printf.sprintf "tk: unknown syscall %d" k)));
-  let halt = Machine.Cpu.run_native ~max_cycles m in
+  { rw = t; machine = m; traps; translations }
+
+let continue_ ?interp ?max_cycles (s : t) : Machine.Cpu.halt option =
+  Machine.Cpu.run_native ?interp ?max_cycles s.machine
+
+let report_of (s : t) ~(halt : Machine.Cpu.halt option) : report =
+  let m = s.machine in
   { halt; cycles = m.cycles; active_cycles = Machine.Cpu.active_cycles m;
-    warmup_cycles = t.warmup_cycles; traps = !traps; translations = !translations;
-    machine = m }
+    warmup_cycles = s.rw.warmup_cycles; traps = !(s.traps);
+    translations = !(s.translations); machine = m }
+
+let run ?(max_cycles = 2_000_000_000) (t : Rewrite.t) : report =
+  let s = start t in
+  let halt = continue_ ~max_cycles s in
+  report_of s ~halt
 
 (** Read a 16-bit variable via the source image's symbol table (data
     addresses are unchanged under t-kernel rewriting). *)

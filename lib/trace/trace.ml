@@ -23,6 +23,7 @@ type kind =
   | Routed of { src : int; dst : int; byte : int }
   | Dropped of { src : int; dst : int; byte : int }
   | Injected of { fault : string }
+  | Probe of { name : string; detail : string }
 
 type event = { mote : int; at : int; kind : kind }
 
@@ -156,6 +157,8 @@ let kind_fields = function
   | Dropped { src; dst; byte } ->
     ("dropped", [ ("src", `Int src); ("dst", `Int dst); ("byte", `Int byte) ])
   | Injected { fault } -> ("injected", [ ("fault", `Str fault) ])
+  | Probe { name; detail } ->
+    ("probe", [ ("name", `Str name); ("detail", `Str detail) ])
 
 let json_of_event (e : event) =
   let name, fields = kind_fields e.kind in
@@ -339,6 +342,10 @@ let event_of_json (line : string) : (event, string) result =
       | "injected" ->
         let* fault = str "fault" in
         Ok (Injected { fault })
+      | "probe" ->
+        let* name = str "name" in
+        let* detail = str "detail" in
+        Ok (Probe { name; detail })
       | other -> Error (Printf.sprintf "unknown event kind %S" other)
     in
     Ok { mote; at; kind }
@@ -372,6 +379,7 @@ let pp_kind fmt = function
   | Routed { src; dst; byte } -> Fmt.pf fmt "routed %02x: %d -> %d" byte src dst
   | Dropped { src; dst; byte } -> Fmt.pf fmt "dropped %02x: %d -> %d" byte src dst
   | Injected { fault } -> Fmt.pf fmt "injected fault: %s" fault
+  | Probe { name; detail } -> Fmt.pf fmt "probe %s: %s" name detail
 
 let pp_event fmt (e : event) =
   Fmt.pf fmt "%10d mote%d  %a" e.at e.mote pp_kind e.kind

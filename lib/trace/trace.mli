@@ -28,6 +28,10 @@ type kind =
   | Injected of { fault : string }
       (** a fault-injection engine mutated this mote's state; [fault] is
           the compact description [Fault.describe] produces *)
+  | Probe of { name : string; detail : string }
+      (** a containment probe fired ([lib/attack]): [name] identifies
+          the probe (e.g. ["canary"], ["pc_bounds"], ["liveness"]),
+          [detail] says what it observed *)
 
 type event = { mote : int; at : int; kind : kind }
 

@@ -236,6 +236,16 @@ let collect ?(window = 2_000_000) () : Trace.t =
   if fault_plain > 0.0 then
     Trace.set_counter trace "host.fault_overhead_pct"
       (int_of_float ((fault_run -. fault_plain) *. 100.0 /. fault_plain));
+  (* Adversarial attack campaign: one seeded packet variant of every
+     attack class against every kernel (lib/attack), publishing the
+     machine-readable "attack.*" containment matrix — per-cell verdict
+     ranks, probe fire counts, recovery totals.  Deterministic and
+     machine-independent, so bench_diff.sh flags any drift as a
+     behavioural change. *)
+  let attack_matrix = Attack.campaign ~trials:1 ~seed:1 () in
+  List.iter
+    (fun (name, v) -> Trace.set_counter trace name v)
+    (Trace.counters attack_matrix.Attack.trace);
   (* Fleet-scale stepping: a 100-mote lossy sense-and-send campaign on
      a grid (shared copy-on-write flash, event-driven scheduler).  The
      "fleet.*" aggregates are deterministic and machine-independent;

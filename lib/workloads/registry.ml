@@ -12,7 +12,9 @@ let builders : (string * (unit -> Asm.Ast.program)) list =
     ("timer", fun () -> Programs.Timer_bench.program ());
     ("periodic", fun () -> Programs.Periodic_task.program ());
     ("feeder", fun () -> Programs.Bintree.feeder ());
-    ("search", fun () -> Programs.Bintree.search ()) ]
+    ("search", fun () -> Programs.Bintree.search ());
+    ("rx_vuln", fun () -> Programs.Rx_vuln.receiver ());
+    ("guard", fun () -> Programs.Rx_vuln.guard ()) ]
 
 let minic_names =
   List.map (fun (n, _) -> n ^ "_mc") Programs.Minic_suite.sources

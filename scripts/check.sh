@@ -29,6 +29,12 @@ dune exec test/test_tiers.exe
 # byte-identical counters, events, and machine state.
 dune exec test/test_net.exe -- test domains
 
+# Adversarial attack campaign smoke: the cross-kernel containment
+# matrix must cover all four comparators and SenSmart must contain
+# strictly more attack classes than at least one of them (asserted by
+# the suite; this run keeps the CLI path itself exercised in CI).
+dune exec bin/sensmart_cli.exe -- attack --trials 1 --report > /dev/null
+
 # Metrics smoke run under the release profile (the dev profile does not
 # inline, so host throughput numbers are only meaningful in release),
 # then gate host.*_per_sec counters against the committed baseline
