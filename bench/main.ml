@@ -134,8 +134,23 @@ let run_bechamel () =
 
 (* --- part 3: machine-readable metrics snapshot --------------------------- *)
 
+(* The campaign-service sits above workloads in the library stack, so
+   the smoke blob picks up its counters here rather than inside
+   [Metrics.collect]: a short seeded load test at the default 4 workers
+   publishes the [service.*] family plus the headline
+   [host.service_jobs_per_sec] throughput figure. *)
+let service_metrics tr =
+  let specs = Service.Engine.loadtest_mix ~seed:1 96 in
+  let config =
+    { Service.Pool.default_config with workers = 4; stall_us = 20_000 }
+  in
+  let outcome = Service.Engine.serve ~config ~trace:tr ~emit:ignore specs in
+  Trace.set_counter tr "host.service_jobs_per_sec"
+    (int_of_float outcome.summary.jobs_per_sec)
+
 let emit_metrics () =
   let tr = Workloads.Metrics.collect () in
+  service_metrics tr;
   let json = Workloads.Metrics.json tr in
   let path = Workloads.Metrics.write_file tr in
   Fmt.pr "@.=== metrics snapshot (%s) ===@.%s@." path json

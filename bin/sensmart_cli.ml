@@ -588,6 +588,102 @@ let fleet_cmd =
     Term.(const exec $ motes $ topology $ cols $ seed $ radius $ loss
           $ periods $ copies $ domains $ tier_arg $ out)
 
+(* serve: the campaign service — spec JSONL in, result JSONL out *)
+let serve_cmd =
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "spec"; "s" ] ~docv:"FILE"
+             ~doc:"Job spec file, one JSON object per line (defaults to \
+                   stdin when no $(b,--loadtest) is given).")
+  in
+  let loadtest =
+    Arg.(value & opt (some int) None
+         & info [ "loadtest" ] ~docv:"N"
+             ~doc:"Ignore the spec input and serve the seeded N-job \
+                   load-test mix instead.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Load-test mix seed.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker domains serving jobs.")
+  in
+  let max_retries =
+    Arg.(value & opt int 0
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Extra attempts after a job's first failure.")
+  in
+  let job_timeout =
+    Arg.(value & opt int 0
+         & info [ "job-timeout" ] ~docv:"MS"
+             ~doc:"Per-attempt cooperative deadline in milliseconds \
+                   (0 = none).")
+  in
+  let stall_us =
+    Arg.(value & opt (some int) None
+         & info [ "stall-us" ] ~docv:"US"
+             ~doc:"Post-job ingest stall in microseconds, modelling \
+                   result-upload latency (default: 20000 under \
+                   $(b,--loadtest), else 0).")
+  in
+  let progress =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Also stream per-job lifecycle events (start / trial / \
+                   stolen / retry / done).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write result JSONL here instead of stdout.")
+  in
+  let exec spec loadtest seed workers max_retries job_timeout stall_us
+      progress out =
+    let specs =
+      match loadtest with
+      | Some n -> Service.Engine.loadtest_mix ~seed n
+      | None ->
+        let source, text =
+          match spec with
+          | Some file -> (file, In_channel.with_open_text file In_channel.input_all)
+          | None -> ("<stdin>", In_channel.input_all In_channel.stdin)
+        in
+        (match Service.Spec.parse_lines text with
+         | Ok specs -> specs
+         | Error e ->
+           Fmt.epr "%s: %s@." source e;
+           exit 2)
+    in
+    let config =
+      { Service.Pool.default_config with
+        workers;
+        max_retries;
+        job_timeout_ms = (if job_timeout > 0 then Some job_timeout else None);
+        stall_us =
+          (match stall_us with
+           | Some us -> us
+           | None -> if loadtest <> None then 20_000 else 0);
+        progress }
+    in
+    let oc = match out with Some f -> open_out f | None -> stdout in
+    let emit line =
+      output_string oc line;
+      flush oc
+    in
+    let outcome = Service.Engine.serve ~config ~sigint:true ~emit specs in
+    if out <> None then close_out oc;
+    Fmt.epr "%a@." Service.Engine.pp_summary outcome;
+    if outcome.summary.failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve campaign/bisect/bench/attack/fleet jobs over a \
+             work-stealing domain pool (spec JSONL in, result JSONL out)")
+    Term.(const exec $ spec $ loadtest $ seed $ workers $ max_retries
+          $ job_timeout $ stall_us $ progress $ out)
+
 (* compile: minic source file -> run or disassemble *)
 let compile_cmd =
   let file =
@@ -710,5 +806,5 @@ let () =
        (Cmd.group info
           [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
             resume_cmd; bisect_cmd; trace_cmd; stats_cmd; fault_cmd;
-            attack_cmd; fleet_cmd; compile_cmd; table1;
+            attack_cmd; fleet_cmd; serve_cmd; compile_cmd; table1;
             table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

@@ -89,11 +89,14 @@ let sp_init_at top =
 (** Preamble for a program that owns the whole logical RAM. *)
 let sp_init = sp_init_at (Machine.Layout.data_size - 1)
 
-(* Fresh-label supply for macro-generated control flow. *)
-let counter = ref 0
+(* Fresh-label supply for macro-generated control flow.  Atomic because
+   the campaign service assembles programs on worker domains; the
+   numeric suffix only guarantees uniqueness — label names never reach
+   the emitted binary, so concurrent interleavings still assemble to
+   byte-identical images. *)
+let counter = Atomic.make 0
 let fresh prefix =
-  incr counter;
-  Printf.sprintf ".%s_%d" prefix !counter
+  Printf.sprintf ".%s_%d" prefix (Atomic.fetch_and_add counter 1 + 1)
 
 (** [fn name ~frame body]: a function with [frame] bytes of locals
     addressed at Y+1 .. Y+frame.  The prologue/epilogue follow the

@@ -467,7 +467,7 @@ module Campaign = struct
     (z lxor (z lsr 13)) land 0x3FFFFFFF
 
   let run ?(interp = false) ?config ?(trials = 8) ?(faults = 6)
-      ?(max_cycles = 1_500_000) ?(disruptive = false) ~seed images =
+      ?(max_cycles = 1_500_000) ?(disruptive = false) ?on_trial ~seed images =
     let trace = Trace.create () in
     let window = (max_cycles / 10, max_cycles * 9 / 10) in
     let one index =
@@ -537,7 +537,14 @@ module Campaign = struct
         contained;
         reason }
     in
-    let rec go i acc = if i = trials then List.rev acc else go (i + 1) (one i :: acc) in
+    let rec go i acc =
+      if i = trials then List.rev acc
+      else begin
+        let t = one i in
+        (match on_trial with Some f -> f t | None -> ());
+        go (i + 1) (t :: acc)
+      end
+    in
     let ts = go 0 [] in
     let sum f = List.fold_left (fun a t -> a + f t) 0 ts in
     Trace.set_counter trace "fault.trials" trials;

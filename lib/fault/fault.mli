@@ -177,7 +177,12 @@ module Campaign : sig
       Trial [i] boots a fresh kernel and runs it under a plan of
       [faults] injections drawn from a seed mixed from [seed] and [i],
       over the window [(max_cycles/10, 9*max_cycles/10)].  Fully
-      deterministic: same arguments, same report. *)
+      deterministic: same arguments, same report.
+
+      [on_trial] is called with each finished trial, in index order —
+      the campaign service streams per-trial progress through it and
+      polls its job deadline there; an exception it raises aborts the
+      campaign (the partial report is discarded by the raiser). *)
   val run :
     ?interp:bool ->
     ?config:Kernel.config ->
@@ -185,6 +190,7 @@ module Campaign : sig
     ?faults:int ->
     ?max_cycles:int ->
     ?disruptive:bool ->
+    ?on_trial:(trial -> unit) ->
     seed:int ->
     Asm.Image.t list ->
     report

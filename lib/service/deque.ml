@@ -1,0 +1,57 @@
+(* Per-worker double-ended job queue for the work-stealing scheduler.
+
+   The whole job list is known before the pool starts (the engine reads
+   every spec line, then serves), so a deque is a fixed slice of the
+   round-robin distribution: the owner takes from the front ([lo]), a
+   thief takes from the back ([hi]).  One mutex per deque keeps the
+   implementation obviously correct; contention is negligible because a
+   worker only touches foreign deques when its own slice is empty, and
+   the critical sections are a bounds check and an index bump.
+
+   Stealing from the opposite end is the classic deque discipline: the
+   owner drains its slice in submission order (cache-friendly for
+   template reuse between neighbouring jobs) while thieves peel off the
+   jobs the owner is furthest from reaching, minimizing collisions. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  jobs : 'a array;
+  mutable lo : int;  (** next owner slot; [lo >= hi] means empty *)
+  mutable hi : int;  (** one past the last remaining back slot *)
+}
+
+let of_array jobs = { mutex = Mutex.create (); jobs; lo = 0; hi = Array.length jobs }
+
+(** Jobs not yet claimed (a racy read is fine for heuristics). *)
+let remaining d = max 0 (d.hi - d.lo)
+
+let with_lock d f =
+  Mutex.lock d.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.mutex) f
+
+(** The owner's take: front of the deque, submission order. *)
+let pop_front d =
+  with_lock d (fun () ->
+      if d.lo >= d.hi then None
+      else begin
+        let j = d.jobs.(d.lo) in
+        d.lo <- d.lo + 1;
+        Some j
+      end)
+
+(** A thief's take: back of the deque. *)
+let steal_back d =
+  with_lock d (fun () ->
+      if d.lo >= d.hi then None
+      else begin
+        d.hi <- d.hi - 1;
+        Some d.jobs.(d.hi)
+      end)
+
+(** Close the deque: every unclaimed job, front order, and mark it
+    empty.  The drain path of a SIGINT shutdown. *)
+let drain d =
+  with_lock d (fun () ->
+      let rest = Array.to_list (Array.sub d.jobs d.lo (max 0 (d.hi - d.lo))) in
+      d.lo <- d.hi;
+      rest)

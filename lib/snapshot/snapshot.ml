@@ -722,6 +722,12 @@ let to_string (s : t) : string =
          w_net ~w_flash:(fun b fl -> W.int b (index_of fl)) b n));
   Buffer.contents b
 
+(* Content address of a snapshot: the MD5 of its serialized bytes.  Two
+   captures digest equal iff they serialize equal, which (diff being
+   exhaustive) means the captured states are identical — the dedup key
+   of the campaign service's shared snapshot store. *)
+let digest (s : t) : string = Digest.to_hex (Digest.string (to_string s))
+
 let of_string (data : string) : (t, string) result =
   try
     let mlen = String.length magic in

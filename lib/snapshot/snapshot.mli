@@ -87,6 +87,12 @@ val restore_net : t -> Net.t -> unit
 
 val to_string : t -> string
 
+(** Content address: the MD5 hex digest of {!to_string}.  Equal digests
+    mean identical captured state ({!diff} is exhaustive over the
+    serialization), so the campaign service's snapshot store can share
+    one blob between jobs that captured the same world. *)
+val digest : t -> string
+
 (** Inverse of {!to_string}; [Error _] on corrupt or foreign input
     (never raises). *)
 val of_string : string -> (t, string) result

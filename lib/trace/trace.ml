@@ -24,6 +24,7 @@ type kind =
   | Dropped of { src : int; dst : int; byte : int }
   | Injected of { fault : string }
   | Probe of { name : string; detail : string }
+  | Job of { id : int; phase : string; detail : string }
 
 type event = { mote : int; at : int; kind : kind }
 
@@ -159,6 +160,8 @@ let kind_fields = function
   | Injected { fault } -> ("injected", [ ("fault", `Str fault) ])
   | Probe { name; detail } ->
     ("probe", [ ("name", `Str name); ("detail", `Str detail) ])
+  | Job { id; phase; detail } ->
+    ("job", [ ("id", `Int id); ("phase", `Str phase); ("detail", `Str detail) ])
 
 let json_of_event (e : event) =
   let name, fields = kind_fields e.kind in
@@ -285,6 +288,13 @@ let parse_object (s : string) : (string * jvalue) list =
   if !pos <> n then fail "trailing input";
   List.rev !fields
 
+(** The flat-object subset as a total function: the campaign service's
+    job-spec lines ride the same dialect. *)
+let parse_flat_json (s : string) : ((string * jvalue) list, string) result =
+  match parse_object s with
+  | exception Parse_error msg -> Error msg
+  | fields -> Ok fields
+
 let event_of_json (line : string) : (event, string) result =
   match parse_object line with
   | exception Parse_error msg -> Error msg
@@ -346,6 +356,11 @@ let event_of_json (line : string) : (event, string) result =
         let* name = str "name" in
         let* detail = str "detail" in
         Ok (Probe { name; detail })
+      | "job" ->
+        let* id = int "id" in
+        let* phase = str "phase" in
+        let* detail = str "detail" in
+        Ok (Job { id; phase; detail })
       | other -> Error (Printf.sprintf "unknown event kind %S" other)
     in
     Ok { mote; at; kind }
@@ -380,6 +395,7 @@ let pp_kind fmt = function
   | Dropped { src; dst; byte } -> Fmt.pf fmt "dropped %02x: %d -> %d" byte src dst
   | Injected { fault } -> Fmt.pf fmt "injected fault: %s" fault
   | Probe { name; detail } -> Fmt.pf fmt "probe %s: %s" name detail
+  | Job { id; phase; detail } -> Fmt.pf fmt "job %d %s: %s" id phase detail
 
 let pp_event fmt (e : event) =
   Fmt.pf fmt "%10d mote%d  %a" e.at e.mote pp_kind e.kind

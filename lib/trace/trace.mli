@@ -32,6 +32,11 @@ type kind =
       (** a containment probe fired ([lib/attack]): [name] identifies
           the probe (e.g. ["canary"], ["pc_bounds"], ["liveness"]),
           [detail] says what it observed *)
+  | Job of { id : int; phase : string; detail : string }
+      (** campaign-service job lifecycle ([lib/service]): [phase] is
+          ["start"], ["stolen"], ["retry"], ["trial"], ["done"] or
+          ["failed"]; the event's [mote] field carries the worker index
+          and [at] the attempt number *)
 
 type event = { mote : int; at : int; kind : kind }
 
@@ -127,6 +132,19 @@ val counters_json : t -> string
 (** Parse a {!counters_json} object back into the sorted association
     list {!counters} returns. *)
 val counters_of_json : string -> ((string * int) list, string) result
+
+(** {2 Flat JSON}
+
+    The emitter's dialect — one flat object of integer / string / null
+    fields, no nesting — is also the wire format of the campaign
+    service's job specs ([lib/service]); the parser is exported so spec
+    files are rejected with the same error text this module produces. *)
+
+type jvalue = J_int of int | J_str of string | J_null
+
+(** Parse one flat JSON object line into its fields, in order.
+    [Error _] carries the position of the first offence. *)
+val parse_flat_json : string -> ((string * jvalue) list, string) result
 
 (** {2 Pretty-printing and equality} *)
 

@@ -35,6 +35,11 @@ dune exec test/test_net.exe -- test domains
 # the suite; this run keeps the CLI path itself exercised in CI).
 dune exec bin/sensmart_cli.exe -- attack --trials 1 --report > /dev/null
 
+# Campaign-service smoke: a short seeded load test through the CLI
+# serve path must drain cleanly (serve exits nonzero iff any job
+# failed, so the exit code is the gate).
+dune exec bin/sensmart_cli.exe -- serve --loadtest 32 --workers 4 --stall-us 0 > /dev/null
+
 # Metrics smoke run under the release profile (the dev profile does not
 # inline, so host throughput numbers are only meaningful in release),
 # then gate host.*_per_sec counters against the committed baseline

@@ -1,0 +1,264 @@
+(* The campaign service (lib/service): worker-count identity of the
+   canonical result set, steal/retry/timeout/containment semantics,
+   deterministic snapshot-dedup accounting, spec-file round-trips with
+   line-numbered rejection, and the SIGINT drain path. *)
+
+let serve ?(workers = 4) ?(max_retries = 0) ?job_timeout_ms ?(sigint = false)
+    specs =
+  let buf = Buffer.create 4096 in
+  let config =
+    { Service.Pool.default_config with
+      workers; max_retries; job_timeout_ms; stall_us = 0 }
+  in
+  let outcome =
+    Service.Engine.serve ~config ~sigint ~emit:(Buffer.add_string buf) specs
+  in
+  (outcome, Buffer.contents buf)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let stream_lines text =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+
+(* --- worker-count identity over the seeded 200-job mix ------------------- *)
+
+(* The test mix weaves deliberate failures into the load-test mix: ids
+   congruent to 7 mod 29 raise (7 jobs in 1..200), 14 mod 29 fail once
+   then succeed (7 jobs), 21 mod 29 sleep.  With max_retries = 2 the
+   raising jobs burn 2 retries each and the flaky jobs 1, so the retry
+   counter itself is schedule-independent: 7*2 + 7*1 = 21. *)
+let mix = lazy (Service.Engine.test_mix ~seed:1 200)
+
+let workers_identity () =
+  let runs =
+    List.map
+      (fun w -> (w, serve ~workers:w ~max_retries:2 (Lazy.force mix)))
+      [ 1; 2; 4 ]
+  in
+  let digests =
+    List.map (fun (w, (o, _)) -> (w, o.Service.Engine.digest)) runs
+  in
+  (match digests with
+   | (_, d1) :: rest ->
+     List.iter
+       (fun (w, d) ->
+         Alcotest.(check string)
+           (Printf.sprintf "canonical results at %d workers match 1 worker" w)
+           d1 d)
+       rest
+   | [] -> assert false);
+  List.iter
+    (fun (w, ((o : Service.Engine.outcome), text)) ->
+      let s = o.summary in
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: every job served" w)
+        200 (s.completed + s.failed);
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: raising jobs fail alone" w)
+        7 s.failed;
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: deterministic retry count" w)
+        21 s.retried;
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: nothing cancelled" w)
+        0 s.cancelled;
+      (* Heavy jobs sit at list indices 0 mod 4, i.e. all on worker 0's
+         deque at 2 or 4 workers: the idle workers must steal. *)
+      if w > 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d workers: at least one steal recorded" w)
+          true (s.stolen >= 1);
+      (* No torn stream lines: exactly one complete JSON object per
+         served job. *)
+      let lines = stream_lines text in
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: one stream line per served job" w)
+        (s.completed + s.failed)
+        (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "stream line is a complete object" true
+            (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        lines;
+      (* Containment: a raising job carries its exception in the stream
+         record; everything after it was still served (checked by the
+         200-count above). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%d workers: raise message lands in the stream" w)
+        true
+        (List.exists
+           (fun l ->
+             contains ~needle:"boom" l
+             && contains ~needle:"\"status\":\"failed\"" l)
+           lines))
+    runs
+
+(* --- retry / timeout semantics ------------------------------------------- *)
+
+let timeout_semantics () =
+  let specs =
+    [ { Service.Spec.id = 1; kind = Service.Spec.Sleep { ms = 500 } } ]
+  in
+  let o, text = serve ~workers:1 ~max_retries:1 ~job_timeout_ms:25 specs in
+  let s = o.summary in
+  Alcotest.(check int) "job failed" 1 s.failed;
+  Alcotest.(check int) "both attempts timed out" 2 s.timeouts;
+  Alcotest.(check int) "one retry consumed" 1 s.retried;
+  match s.results with
+  | [ r ] ->
+    Alcotest.(check bool) "final attempt marked timed out" true r.timed_out;
+    Alcotest.(check int) "attempts recorded" 2 r.attempts;
+    Alcotest.(check string) "deterministic error" "timeout after 25ms" r.error;
+    Alcotest.(check bool) "timeout flag in canonical line" true
+      (contains ~needle:"\"timeout\":1"
+         (Service.Pool.canonical_line r));
+    Alcotest.(check bool) "stream line carries the failure" true
+      (contains ~needle:"timeout after 25ms" text)
+  | _ -> Alcotest.fail "expected exactly one result"
+
+let flaky_retry () =
+  let specs =
+    [ { Service.Spec.id = 1; kind = Service.Spec.Flaky { fails = 2 } } ]
+  in
+  (* Not enough retries: the job fails with its last deliberate error. *)
+  let o, _ = serve ~workers:1 ~max_retries:1 specs in
+  Alcotest.(check int) "fails when retries run out" 1 o.summary.failed;
+  (* One more attempt and it lands. *)
+  let o, _ = serve ~workers:1 ~max_retries:2 specs in
+  Alcotest.(check int) "succeeds with enough retries" 1 o.summary.completed;
+  match o.summary.results with
+  | [ r ] ->
+    Alcotest.(check int) "third attempt succeeded" 3 r.attempts;
+    Alcotest.(check string) "attempt number in payload"
+      "{\"succeeded_attempt\":3}" r.payload
+  | _ -> Alcotest.fail "expected exactly one result"
+
+(* --- snapshot dedup accounting ------------------------------------------- *)
+
+let dedup_accounting () =
+  let bisect id =
+    { Service.Spec.id;
+      kind =
+        Service.Spec.Bisect
+          { programs = [ "crc" ]; warm = 20_000; budget = 40_000;
+            granularity = 8192; poke = None } }
+  in
+  let specs = List.init 6 (fun i -> bisect (i + 1)) in
+  (* Six jobs share one warm snapshot: whoever the schedule lets in
+     first captures it, the other five are hits — exactly five, at any
+     worker count, because the store linearizes each semantic key. *)
+  List.iter
+    (fun w ->
+      let o, _ = serve ~workers:w specs in
+      let s = o.Service.Engine.summary in
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: all six bisects served" w)
+        6 s.completed;
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: exactly five dedup hits" w)
+        5 s.dedup_hits;
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: one stored blob" w)
+        1 s.store_entries)
+    [ 1; 4 ]
+
+(* --- spec round-trip and rejection --------------------------------------- *)
+
+let spec_roundtrip () =
+  let specs = Service.Engine.test_mix ~seed:3 64 in
+  let text =
+    String.concat "\n" (List.map Service.Spec.to_json specs) ^ "\n"
+  in
+  match Service.Spec.parse_lines text with
+  | Error e -> Alcotest.fail ("round-trip rejected: " ^ e)
+  | Ok parsed ->
+    Alcotest.(check (list string))
+      "printed specs parse back byte-identically"
+      (List.map Service.Spec.to_json specs)
+      (List.map Service.Spec.to_json parsed)
+
+let spec_rejection () =
+  let reject name text needle =
+    match Service.Spec.parse_lines text with
+    | Ok _ -> Alcotest.fail (name ^ ": bogus spec accepted")
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error %S mentions %S" name e needle)
+        true
+        (contains ~needle:needle e)
+  in
+  reject "non-JSON line" "nonsense\n" "line 1";
+  reject "second line bad"
+    "{\"job\":\"sleep\",\"ms\":1}\nnonsense\n" "line 2";
+  reject "unknown job kind" "{\"job\":\"mine\"}\n" "unknown job kind";
+  reject "unknown program"
+    "{\"job\":\"bench\",\"program\":\"nope\"}\n" "unknown program";
+  reject "unknown field"
+    "{\"job\":\"sleep\",\"ms\":1,\"bogus\":7}\n" "unknown field";
+  reject "range check"
+    "{\"job\":\"bisect\",\"programs\":\"crc\",\"warm\":500000,\"budget\":100000}\n"
+    "warm";
+  reject "poke outside window"
+    "{\"job\":\"bisect\",\"programs\":\"crc\",\"warm\":50000,\"budget\":100000,\"poke\":10}\n"
+    "poke";
+  (* Comments and blank lines are skipped but still count for line
+     numbering and default ids. *)
+  match Service.Spec.parse_lines "# header\n\n{\"job\":\"sleep\",\"ms\":1}\n" with
+  | Ok [ { Service.Spec.id = 3; kind = Service.Spec.Sleep { ms = 1 } } ] -> ()
+  | Ok _ -> Alcotest.fail "comment/blank handling changed the parse"
+  | Error e -> Alcotest.fail ("commented spec rejected: " ^ e)
+
+(* --- SIGINT drain ---------------------------------------------------------- *)
+
+let sigint_drain () =
+  (* Park a benign handler so a stray signal outside serve's window can
+     never kill the test binary, then fire one SIGINT mid-run from a
+     helper domain.  serve installs its drain handler synchronously
+     before any job starts, well inside the helper's 50ms fuse. *)
+  let previous = Sys.signal Sys.sigint Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+  @@ fun () ->
+  let specs =
+    List.init 60 (fun i ->
+        { Service.Spec.id = i + 1; kind = Service.Spec.Sleep { ms = 5 } })
+  in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Unix.kill (Unix.getpid ()) Sys.sigint)
+  in
+  let o, text = serve ~workers:2 ~sigint:true specs in
+  Domain.join killer;
+  let s = o.summary in
+  Alcotest.(check bool) "interrupt observed" true o.interrupted;
+  Alcotest.(check bool) "some jobs were drained away" true (s.cancelled > 0);
+  Alcotest.(check bool) "running jobs finished first" true (s.completed > 0);
+  Alcotest.(check int) "served + cancelled covers the queue" s.queued
+    (s.completed + s.failed + s.cancelled);
+  Alcotest.(check int) "nothing failed on the way down" 0 s.failed;
+  (* The flush contract: every emitted line is complete. *)
+  let lines = stream_lines text in
+  Alcotest.(check int) "one complete line per served job"
+    (s.completed + s.failed) (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "no torn lines" true
+        (l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let () =
+  Alcotest.run "service"
+    [ ("identity",
+       [ Alcotest.test_case "1/2/4 workers byte-identical" `Quick
+           workers_identity ]);
+      ("semantics",
+       [ Alcotest.test_case "timeout" `Quick timeout_semantics;
+         Alcotest.test_case "flaky retry" `Quick flaky_retry;
+         Alcotest.test_case "dedup accounting" `Quick dedup_accounting;
+         Alcotest.test_case "sigint drain" `Quick sigint_drain ]);
+      ("spec",
+       [ Alcotest.test_case "round-trip" `Quick spec_roundtrip;
+         Alcotest.test_case "rejection" `Quick spec_rejection ]) ]
