@@ -720,6 +720,110 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile and run a minic source file")
     Term.(const go $ file $ action)
 
+(* rewrite *)
+let rewrite_cmd =
+  let inputs =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"INPUT"
+             ~doc:"What to rewrite: a path to an Intel-HEX or AVR ELF file, \
+                   a fixture firmware name (blink, sense, dispatch — loaded \
+                   through the HEX path, symbol-less), or a bundled program \
+                   name.  Default: the whole fixture set.")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Emit the machine-readable JSON report (schema \
+                   sensmart.rewrite.report/1, one object per line; see \
+                   DESIGN.md) instead of the human summary.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the rewritten (naturalized) image as Intel-HEX to \
+                   $(docv).  Requires exactly one input.")
+  in
+  let text_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "text-bytes" ] ~docv:"N"
+             ~doc:"For HEX file inputs: byte offset where instructions end \
+                   and flash data begins (a bare HEX carries no section \
+                   metadata).  Default: the whole image is text.")
+  in
+  let data_size =
+    Arg.(value & opt (some int) None
+         & info [ "data-size" ] ~docv:"N"
+             ~doc:"For HEX file inputs: the task's .data+.bss footprint in \
+                   bytes (sizes the heap the rewriter bounds accesses \
+                   against).  Default 1024.")
+  in
+  let base =
+    Arg.(value & opt int 0
+         & info [ "base" ] ~docv:"WORDS"
+             ~doc:"Flash word address the rewritten image is placed at.")
+  in
+  let load_input ?text_bytes ?data_size name =
+    if Sys.file_exists name && not (Sys.is_directory name) then begin
+      let contents = In_channel.with_open_bin name In_channel.input_all in
+      let parsed =
+        if String.length contents >= 4 && String.sub contents 0 4 = "\x7fELF"
+        then Loader.Load.of_elf ~name:(Filename.basename name) contents
+        else
+          Loader.Load.of_hex ~name:(Filename.basename name) ?text_bytes
+            ?data_size contents
+      in
+      match parsed with
+      | Ok img -> img
+      | Error e ->
+        Fmt.epr "%s: %s@." name (Loader.Load.error_message e);
+        exit 1
+    end
+    else
+      match Loader.Firmware.find name with
+      | Some f -> Loader.Firmware.load_hex f
+      | None -> lookup_image name
+  in
+  let exec inputs report out text_bytes data_size base =
+    let inputs =
+      match inputs with
+      | [] ->
+        List.map (fun (f : Loader.Firmware.t) -> f.name) (Loader.Firmware.all ())
+      | l -> l
+    in
+    (match (out, inputs) with
+     | Some _, _ :: _ :: _ ->
+       Fmt.epr "--out requires exactly one input@.";
+       exit 1
+     | _ -> ());
+    List.iter
+      (fun name ->
+        let img = load_input ?text_bytes ?data_size name in
+        match Rewriter.Rewrite.pipeline ~base img with
+        | nat, rep ->
+          if report then print_endline (Rewriter.Report.to_json rep)
+          else Fmt.pr "%a@." Rewriter.Report.pp rep;
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc
+                    (Loader.Load.to_hex ~base:nat.Rewriter.Naturalized.base
+                       nat.words));
+              Fmt.pr "wrote %s (%d bytes of flash at word 0x%04x)@." file
+                (2 * Array.length nat.words)
+                nat.base)
+            out
+        | exception Rewriter.Rewrite.Error e ->
+          Fmt.epr "%s: rewrite failed: %s@." name
+            (Rewriter.Rewrite.error_message e);
+          exit 1)
+      inputs
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Run the rewriting pipeline over firmware (HEX/ELF file, fixture, \
+             or bundled program) and report")
+    Term.(const exec $ inputs $ report $ out $ text_bytes $ data_size $ base)
+
 (* experiments *)
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps for a fast pass.")
@@ -806,5 +910,5 @@ let () =
        (Cmd.group info
           [ list_cmd; disasm_cmd; native_cmd; run_cmd; snapshot_cmd;
             resume_cmd; bisect_cmd; trace_cmd; stats_cmd; fault_cmd;
-            attack_cmd; fleet_cmd; serve_cmd; compile_cmd; table1;
+            attack_cmd; fleet_cmd; serve_cmd; compile_cmd; rewrite_cmd; table1;
             table2; fig4; fig5; fig6; fig7; fig8; all_cmd ]))

@@ -10,6 +10,8 @@
      image/symbol-list format the rewriter consumes.
    - {!Rewriter}: the base-station binary rewriter (Section IV-A of the
      paper): trampolines, shift table, grouped-access optimization.
+   - {!Loader}: real-firmware ingestion — Intel-HEX and AVR ELF readers
+     feeding the rewriter and kernel, plus the avr-gcc-shaped fixtures.
    - {!Kernel}: the SenSmart kernel runtime: preemptive round-robin
      scheduling on software traps, logical addressing, stack
      relocation.
@@ -35,6 +37,7 @@ module Avr = Avr
 module Machine = Machine
 module Asm = Asm
 module Rewriter = Rewriter
+module Loader = Loader
 module Kernel = Kernel
 module Programs = Programs
 module Tkernel = Tkernel
@@ -51,6 +54,12 @@ let assemble = Asm.Assembler.assemble
 
 (** Naturalize one image (base-station rewriting) for inspection. *)
 let rewrite ?config ?(base = 0) img = Rewriter.Rewrite.run ?config ~base img
+
+(** Naturalize one image and keep the full pipeline report
+    ({!Rewriter.Report.t}: recovery/transform/redirection statistics
+    and diagnostics; schema in DESIGN.md). *)
+let rewrite_report ?config ?(base = 0) img =
+  Rewriter.Rewrite.pipeline ?config ~base img
 
 (** Boot a simulated mote running the given applications concurrently
     under the SenSmart kernel (rewriting them on the way in). *)

@@ -1,0 +1,176 @@
+(* avr-gcc-shaped fixture firmware, serialized to Intel-HEX and ELF. *)
+
+open Asm.Macros
+
+type t = {
+  name : string;
+  source : Asm.Image.t;
+  text_bytes : int;
+  data_size : int;
+  hex : string;
+  elf : string;
+  result_addr : int;
+}
+
+(* ATmega128: 35 interrupt vectors, one 2-word JMP each. *)
+let vectors = 35
+
+(* crt0 in avr-gcc's exact shape: zero register, SREG clear, stack
+   pointer high-byte-first, init loops, CALL main, then stop.  The
+   trailing BREAK stands in for avr-libc's exit (cli; rjmp .-2): the
+   simulator treats BREAK as clean termination. *)
+let crt0 ~init body =
+  let ramend = Machine.Layout.data_size - 1 in
+  [ lbl "start"; jmp "__init" ]
+  @ List.init (vectors - 1) (fun _ -> jmp "__bad_interrupt")
+  @ [ lbl "__bad_interrupt"; jmp "start" ]
+  @ [ lbl "__init";
+      eor 1 1;
+      out Machine.Io.sreg 1;
+      ldi 28 (ramend land 0xFF);
+      ldi 29 ((ramend lsr 8) land 0xFF);
+      out Machine.Io.sph 29;
+      out Machine.Io.spl 28 ]
+  @ init
+  @ [ call "main"; jmp "__exit"; lbl "__exit"; break ]
+  @ body
+
+(* __do_copy_data: prime .data from its flash load image, avr-gcc's
+   LPM Z+ / ST X+ loop with the end bound compared in registers. *)
+let do_copy_data ~dest ~src ~bytes =
+  ldi_data 26 27 dest 0
+  @ ldi_flash 30 31 src
+  @ ldi_data 16 17 dest bytes
+  @ [ rjmp "__copy_start";
+      lbl "__copy_loop"; lpm 0 ~inc:true; st Avr.Isa.X_inc 0;
+      lbl "__copy_start"; cp 26 16; cpc 27 17; brne "__copy_loop" ]
+
+(* __do_clear_bss: zero [from, bound) with the zero register. *)
+let do_clear_bss ~from_:(fsym, foff) ~bound:(bsym, boff) =
+  ldi_data 26 27 fsym foff
+  @ ldi_data 16 17 bsym boff
+  @ [ rjmp "__bss_start";
+      lbl "__bss_loop"; st Avr.Isa.X_inc 1;
+      lbl "__bss_start"; cp 26 16; cpc 27 17; brne "__bss_loop" ]
+
+(* --- blink: LED toggle with busy-wait delay --------------------------- *)
+
+let blink_prog () =
+  Asm.Ast.program "blink"
+    ~data:[ { dname = "led"; size = 1; init = [] };
+            { dname = "count"; size = 1; init = [] } ]
+    (crt0
+       ~init:(do_clear_bss ~from_:("led", 0) ~bound:("count", 1))
+       [ lbl "main";
+         ldi 24 0;
+         lbl "__blink_loop";
+         lds 16 "led"; com 16; sts "led" 16;
+         ldi 18 40; lbl "__delay"; dec 18; brne "__delay";
+         inc 24;
+         cpi 24 8; brne "__blink_loop";
+         sts "count" 24;
+         ret ])
+
+(* --- sense: ADC polling + radio transmit ------------------------------ *)
+
+let sense_prog () =
+  Asm.Ast.program "sense"
+    ~data:[ { dname = "sum"; size = 2; init = [] } ]
+    (crt0
+       ~init:(do_clear_bss ~from_:("sum", 0) ~bound:("sum", 2))
+       ([ lbl "main"; ldi 22 0; ldi 23 0 ]
+        @ loop_n 19 8 (adc_sample @ [ add 22 24; adc 23 25 ])
+        @ [ sts "sum" 22; sts_off "sum" 1 23 ]
+        @ radio_send 22
+        @ [ ret ]))
+
+(* --- dispatch: flash-primed coefficients + ICALL through a RAM table -- *)
+
+let dispatch_prog () =
+  let coeff_words = [ 0x0003; 0x0005; 0x0007; 0x000B ] in
+  let coeff_bytes = 2 * List.length coeff_words in
+  Asm.Ast.program "dispatch"
+    ~data:[ { dname = "coeffs"; size = coeff_bytes; init = [] };
+            { dname = "handlers"; size = 4; init = [] };
+            { dname = "result"; size = 2; init = [] } ]
+    ~flash_data:[ { fname = "ktab"; fwords = coeff_words } ]
+    (crt0
+       ~init:
+         (do_copy_data ~dest:"coeffs" ~src:"ktab" ~bytes:coeff_bytes
+          @ do_clear_bss ~from_:("handlers", 0) ~bound:("result", 2))
+       ([ lbl "main" ]
+        @ ldi_text 16 17 "h_add"
+        @ [ sts "handlers" 16; sts_off "handlers" 1 17 ]
+        @ ldi_text 16 17 "h_xor"
+        @ [ sts_off "handlers" 2 16; sts_off "handlers" 3 17 ]
+        @ [ ldi 24 0; ldi 25 0 ]
+        @ List.concat
+            (List.init 4 (fun i ->
+                 [ lds_off 22 "coeffs" (2 * i);
+                   lds_off 30 "handlers" (2 * (i land 1));
+                   lds_off 31 "handlers" ((2 * (i land 1)) + 1);
+                   icall ]))
+        @ [ sts "result" 24; sts_off "result" 1 25; ret;
+            lbl "h_add"; add 24 22; adc 25 1; ret;
+            lbl "h_xor"; eor 24 22; ret ]))
+
+(* --- serialization ------------------------------------------------------ *)
+
+let words_to_string (words : int array) lo hi =
+  String.init (2 * (hi - lo)) (fun i ->
+      let w = words.(lo + (i / 2)) in
+      Char.chr (if i land 1 = 0 then w land 0xFF else (w lsr 8) land 0xFF))
+
+let of_program prog =
+  let source = Asm.Assembler.assemble prog in
+  let text_bytes = Asm.Image.text_bytes source in
+  let data_size = source.data_size in
+  let hex = Load.to_hex source.words in
+  let text =
+    { Elf.vaddr = 0;
+      paddr = 0;
+      filesz = text_bytes;
+      memsz = text_bytes;
+      data = words_to_string source.words 0 source.text_words }
+  in
+  (* The data segment: load image (flash data) at its LMA, virtual
+     address in avr-gcc's data space, .bss in memsz beyond filesz. *)
+  let rodata_bytes = 2 * (Array.length source.words - source.text_words) in
+  let data =
+    { Elf.vaddr = Elf.data_space + Asm.Image.heap_base;
+      paddr = text_bytes;
+      filesz = rodata_bytes;
+      memsz = data_size;
+      data =
+        words_to_string source.words source.text_words (Array.length source.words) }
+  in
+  let elf = Elf.encode ~entry:(2 * source.entry) [ text; data ] in
+  let result_addr =
+    let pick = [ "result"; "sum"; "count" ] in
+    let rec go = function
+      | [] -> Asm.Image.heap_base
+      | n :: rest ->
+        (match Asm.Image.find_symbol source n with
+         | Some (Data a) -> a
+         | _ -> go rest)
+    in
+    go pick
+  in
+  { name = source.name; source; text_bytes; data_size; hex; elf; result_addr }
+
+let all () = List.map of_program [ blink_prog (); sense_prog (); dispatch_prog () ]
+
+let find name = List.find_opt (fun f -> f.name = name) (all ())
+
+let load_hex f =
+  match
+    Load.of_hex ~name:f.name ~text_bytes:f.text_bytes ~data_size:f.data_size
+      f.hex
+  with
+  | Ok img -> img
+  | Error e -> invalid_arg (f.name ^ ": " ^ Load.error_message e)
+
+let load_elf f =
+  match Load.of_elf ~name:f.name f.elf with
+  | Ok img -> img
+  | Error e -> invalid_arg (f.name ^ ": " ^ Load.error_message e)

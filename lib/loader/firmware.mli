@@ -1,0 +1,45 @@
+(** avr-gcc-shaped fixture firmware.
+
+    Three small images built the way avr-gcc lays a mote binary out —
+    full interrupt vector table of [JMP]s, a crt0 that zeroes r1, sets
+    SP high-byte-first, copies .data from flash with an
+    [LPM Z+]/[ST X+] loop, clears .bss, then [CALL main] — serialized
+    to Intel-HEX and ELF.  The container carries no AVR cross
+    toolchain, so the bytes are produced by the in-tree assembler; the
+    shape (and the checked-in fixture files under [test/fixtures/]) is
+    pinned by a regeneration test, and loading them back through
+    {!Loader} drops the symbol table, which is exactly what a real
+    avr-objcopy product looks like to the rewriter.
+
+    The three images exercise the loader/rewriter paths differently:
+
+    - [blink] — LED-toggle loop: direct LDS/STS, .bss clear, busy-wait
+      delay loops;
+    - [sense] — ADC polling + radio transmit: I/O-space polling idioms
+      left native by the rewriter;
+    - [dispatch] — function-pointer dispatch through a RAM table
+      primed from flash: the .data copy loop ([LPM]), [ICALL], and —
+      once the symbols are stripped — the conservative recovery
+      fallback. *)
+
+type t = {
+  name : string;
+  source : Asm.Image.t;  (** symbol-full image, straight from the assembler *)
+  text_bytes : int;  (** text/flash-data boundary, for HEX loading *)
+  data_size : int;  (** logical .data+.bss footprint, for HEX loading *)
+  hex : string;  (** Intel-HEX serialization of the flash image *)
+  elf : string;  (** ELF serialization (text + data program headers) *)
+  result_addr : int;  (** logical data address of the 16-bit result cell *)
+}
+
+(** The fixture set, in a fixed order: [blink], [sense], [dispatch]. *)
+val all : unit -> t list
+
+val find : string -> t option
+
+(** Parse [t.hex] back into a symbol-less image (never fails on the
+    fixtures; raises [Invalid_argument] if tampered with). *)
+val load_hex : t -> Asm.Image.t
+
+(** Parse [t.elf] back into a symbol-less image. *)
+val load_elf : t -> Asm.Image.t

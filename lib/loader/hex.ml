@@ -1,0 +1,148 @@
+(* Intel-HEX reader/writer (the avr-objcopy dialect). *)
+
+type error =
+  | Bad_char of { line : int; pos : int }
+  | Bad_length of { line : int }
+  | Bad_checksum of { line : int; expected : int; got : int }
+  | Bad_type of { line : int; rtype : int }
+  | Missing_eof
+  | Overlap of { line : int; addr : int }
+
+let error_message = function
+  | Bad_char { line; pos } ->
+    Printf.sprintf "line %d: invalid character at column %d" line (pos + 1)
+  | Bad_length { line } -> Printf.sprintf "line %d: record length mismatch" line
+  | Bad_checksum { line; expected; got } ->
+    Printf.sprintf "line %d: checksum 0x%02x, record says 0x%02x" line expected got
+  | Bad_type { line; rtype } ->
+    Printf.sprintf "line %d: unsupported record type %02d" line rtype
+  | Missing_eof -> "missing end-of-file record"
+  | Overlap { line; addr } ->
+    Printf.sprintf "line %d: byte 0x%04x already defined by an earlier record" line addr
+
+exception Fail of error
+
+let hex_digit line pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Fail (Bad_char { line; pos }))
+
+(* One record line (without the ':') decoded to raw bytes. *)
+let record_bytes line s =
+  let n = String.length s in
+  if n land 1 <> 0 then raise (Fail (Bad_length { line }));
+  Bytes.init (n / 2) (fun i ->
+      Char.chr
+        ((hex_digit line (1 + (2 * i)) s.[2 * i] lsl 4)
+         lor hex_digit line (2 + (2 * i)) s.[(2 * i) + 1]))
+
+let parse (input : string) : ((int * Bytes.t) list, error) result =
+  let lines = String.split_on_char '\n' input in
+  (* (absolute address, line, bytes) for every data record. *)
+  let records = ref [] in
+  let base = ref 0 in
+  let saw_eof = ref false in
+  (try
+     List.iteri
+       (fun i raw ->
+         let lineno = i + 1 in
+         let raw =
+           if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+             String.sub raw 0 (String.length raw - 1)
+           else raw
+         in
+         if raw <> "" && not !saw_eof then begin
+           if raw.[0] <> ':' then raise (Fail (Bad_char { line = lineno; pos = 0 }));
+           let b = record_bytes lineno (String.sub raw 1 (String.length raw - 1)) in
+           if Bytes.length b < 5 then raise (Fail (Bad_length { line = lineno }));
+           let count = Bytes.get_uint8 b 0 in
+           if Bytes.length b <> count + 5 then
+             raise (Fail (Bad_length { line = lineno }));
+           let sum = ref 0 in
+           for j = 0 to Bytes.length b - 2 do
+             sum := !sum + Bytes.get_uint8 b j
+           done;
+           let expected = -(!sum) land 0xFF in
+           let got = Bytes.get_uint8 b (Bytes.length b - 1) in
+           if expected <> got then
+             raise (Fail (Bad_checksum { line = lineno; expected; got }));
+           let addr = (Bytes.get_uint8 b 1 lsl 8) lor Bytes.get_uint8 b 2 in
+           let rtype = Bytes.get_uint8 b 3 in
+           let data = Bytes.sub b 4 count in
+           match rtype with
+           | 0x00 -> records := (!base + addr, lineno, data) :: !records
+           | 0x01 -> saw_eof := true
+           | 0x02 ->
+             base := ((Bytes.get_uint8 data 0 lsl 8) lor Bytes.get_uint8 data 1) * 16
+           | 0x04 ->
+             base := ((Bytes.get_uint8 data 0 lsl 8) lor Bytes.get_uint8 data 1) lsl 16
+           | 0x03 | 0x05 -> () (* start address: irrelevant on AVR *)
+           | t -> raise (Fail (Bad_type { line = lineno; rtype = t }))
+         end)
+       lines;
+     if not !saw_eof then raise (Fail Missing_eof);
+     (* Sort by address, detect overlap, merge contiguous runs. *)
+     let sorted =
+       List.sort
+         (fun (a, _, _) (b, _, _) -> compare a b)
+         (List.rev !records)
+     in
+     let segments = ref [] in
+     let cur_start = ref 0 and cur = Buffer.create 256 in
+     let flush () =
+       if Buffer.length cur > 0 then begin
+         segments := (!cur_start, Bytes.of_string (Buffer.contents cur)) :: !segments;
+         Buffer.clear cur
+       end
+     in
+     List.iter
+       (fun (addr, lineno, data) ->
+         let cur_end = !cur_start + Buffer.length cur in
+         if Buffer.length cur > 0 && addr < cur_end then
+           raise (Fail (Overlap { line = lineno; addr }));
+         if Buffer.length cur = 0 || addr > cur_end then begin
+           flush ();
+           cur_start := addr
+         end;
+         Buffer.add_bytes cur data)
+       sorted;
+     flush ();
+     Ok (List.rev !segments)
+   with Fail e -> Error e)
+
+let encode ?(bytes_per_record = 16) (segments : (int * Bytes.t) list) : string =
+  let buf = Buffer.create 4096 in
+  let record addr rtype data =
+    let count = Bytes.length data in
+    let sum = ref (count + ((addr lsr 8) land 0xFF) + (addr land 0xFF) + rtype) in
+    Bytes.iter (fun c -> sum := !sum + Char.code c) data;
+    Buffer.add_string buf
+      (Printf.sprintf ":%02X%04X%02X" count (addr land 0xFFFF) rtype);
+    Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c))) data;
+    Buffer.add_string buf (Printf.sprintf "%02X\n" (-(!sum) land 0xFF))
+  in
+  let high = ref 0 in
+  List.iter
+    (fun (start, data) ->
+      let n = Bytes.length data in
+      let pos = ref 0 in
+      while !pos < n do
+        let addr = start + !pos in
+        if addr lsr 16 <> !high then begin
+          high := addr lsr 16;
+          let d = Bytes.create 2 in
+          Bytes.set_uint8 d 0 ((!high lsr 8) land 0xFF);
+          Bytes.set_uint8 d 1 (!high land 0xFF);
+          record 0 0x04 d
+        end;
+        (* Stop a record at the 64 KiB boundary so its address fits. *)
+        let room = ((addr lsr 16) + 1) lsl 16 in
+        let len = min bytes_per_record (min (n - !pos) (room - addr)) in
+        record addr 0x00 (Bytes.sub data !pos len);
+        pos := !pos + len
+      done)
+    segments;
+  record 0 0x01 Bytes.empty;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Intel-HEX reader/writer.
+
+    The dialect avr-objcopy emits: data records ([00]), end-of-file
+    ([01]), and the extended addressing records ([02] segment, [04]
+    linear).  Start-address records ([03]/[05]) are accepted and
+    ignored — on AVR execution always begins at the reset vector.
+    Records may appear out of address order (avr-objcopy emits sections
+    in link order); {!parse} sorts and merges them.
+
+    Every malformed input maps to a precise typed {!error} carrying the
+    1-based source line, so a corrupted firmware file points at the
+    offending record rather than failing with a string. *)
+
+type error =
+  | Bad_char of { line : int; pos : int }
+      (** non-hex digit (or missing [':'] lead-in) at byte [pos] *)
+  | Bad_length of { line : int }
+      (** record shorter than its declared byte count, or odd digits *)
+  | Bad_checksum of { line : int; expected : int; got : int }
+      (** two's-complement record checksum mismatch *)
+  | Bad_type of { line : int; rtype : int }  (** unsupported record type *)
+  | Missing_eof  (** no [01] record before the input ended *)
+  | Overlap of { line : int; addr : int }
+      (** two records define the byte at [addr] *)
+
+(** Human-readable rendering of an {!error}. *)
+val error_message : error -> string
+
+(** [parse s] reads one Intel-HEX file into byte segments
+    [(start_address, bytes)], sorted by address, with contiguous and
+    out-of-order records merged.  Addresses are absolute flash byte
+    addresses (extended addressing applied). *)
+val parse : string -> ((int * Bytes.t) list, error) result
+
+(** [encode ?bytes_per_record segments] writes segments (absolute byte
+    addresses) as Intel-HEX text, emitting [04] extended-linear records
+    at 64 KiB boundaries and a final EOF record.  Default 16 data bytes
+    per record, avr-objcopy's choice. *)
+val encode : ?bytes_per_record:int -> (int * Bytes.t) list -> string

@@ -1,0 +1,115 @@
+(* Firmware loading: Intel-HEX / AVR ELF bytes -> Asm.Image.t. *)
+
+type error =
+  | Hex of Hex.error
+  | Elf of Elf.error
+  | Empty
+  | Too_large of { bytes : int; limit : int }
+  | Bad_layout of { what : string }
+
+let error_message = function
+  | Hex e -> "hex: " ^ Hex.error_message e
+  | Elf e -> "elf: " ^ Elf.error_message e
+  | Empty -> "no loadable bytes"
+  | Too_large { bytes; limit } ->
+    Printf.sprintf "image is %d bytes; flash holds %d" bytes limit
+  | Bad_layout { what } -> "bad layout: " ^ what
+
+let default_data_size = 1024
+
+let flash_bytes = 2 * Machine.Layout.flash_words
+
+let of_segments ~name ?(entry = 0) ?text_bytes ?(data_size = default_data_size)
+    (segments : (int * Bytes.t) list) : (Asm.Image.t, error) result =
+  let span =
+    List.fold_left (fun m (a, b) -> max m (a + Bytes.length b)) 0 segments
+  in
+  if span = 0 then Error Empty
+  else if span > flash_bytes then Error (Too_large { bytes = span; limit = flash_bytes })
+  else begin
+    let nbytes = (span + 1) land lnot 1 in
+    (* Gaps between segments read as erased flash. *)
+    let bytes = Bytes.make nbytes '\xFF' in
+    List.iter (fun (a, b) -> Bytes.blit b 0 bytes a (Bytes.length b)) segments;
+    let words =
+      Array.init (nbytes / 2) (fun i ->
+          Bytes.get_uint8 bytes (2 * i) lor (Bytes.get_uint8 bytes ((2 * i) + 1) lsl 8))
+    in
+    let text_bytes = match text_bytes with Some t -> t | None -> span in
+    let text_words = min (Array.length words) ((text_bytes + 1) / 2) in
+    if text_words <= 0 then Error (Bad_layout { what = "empty text segment" })
+    else
+      Ok
+        { Asm.Image.name;
+          words;
+          text_words;
+          symbols = [];
+          data_size;
+          data_init = [];
+          entry }
+  end
+
+let of_hex ~name ?entry ?text_bytes ?data_size (input : string) :
+    (Asm.Image.t, error) result =
+  match Hex.parse input with
+  | Error e -> Error (Hex e)
+  | Ok segments -> of_segments ~name ?entry ?text_bytes ?data_size segments
+
+let of_elf ~name (input : string) : (Asm.Image.t, error) result =
+  match Elf.parse input with
+  | Error e -> Error (Elf e)
+  | Ok { entry; segments } ->
+    let flash, data =
+      List.partition (fun (s : Elf.segment) -> s.vaddr < Elf.data_space) segments
+    in
+    (* Everything lands in flash at its LMA; the data segments' virtual
+       addresses size the logical heap. *)
+    let byte_segments =
+      List.filter_map
+        (fun (s : Elf.segment) ->
+          if s.filesz = 0 then None else Some (s.paddr, Bytes.of_string s.data))
+        segments
+    in
+    let text_bytes =
+      List.fold_left
+        (fun acc (s : Elf.segment) -> min acc s.paddr)
+        max_int data
+      |> fun t ->
+      if t = max_int then
+        (* No data segment: all of flash is text. *)
+        List.fold_left (fun m (s : Elf.segment) -> max m (s.paddr + s.filesz)) 0 flash
+      else t
+    in
+    let data_size =
+      List.fold_left
+        (fun acc (s : Elf.segment) ->
+          let logical = s.vaddr - Elf.data_space in
+          if logical < Asm.Image.heap_base then
+            (* Reported below via Bad_layout. *)
+            acc
+          else max acc (logical - Asm.Image.heap_base + s.memsz))
+        0 data
+    in
+    let bad =
+      List.exists
+        (fun (s : Elf.segment) -> s.vaddr - Elf.data_space < Asm.Image.heap_base)
+        data
+    in
+    if bad then
+      Error
+        (Bad_layout
+           { what =
+               Printf.sprintf "data segment below the heap base (0x%04x)"
+                 Asm.Image.heap_base })
+    else
+      let data_size = if data = [] then default_data_size else data_size in
+      of_segments ~name ~entry:(entry / 2) ~text_bytes ~data_size byte_segments
+
+let to_hex ?(base = 0) (words : int array) : string =
+  let bytes = Bytes.create (2 * Array.length words) in
+  Array.iteri
+    (fun i w ->
+      Bytes.set_uint8 bytes (2 * i) (w land 0xFF);
+      Bytes.set_uint8 bytes ((2 * i) + 1) ((w lsr 8) land 0xFF))
+    words;
+  Hex.encode [ (2 * base, bytes) ]

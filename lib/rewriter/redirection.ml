@@ -1,0 +1,225 @@
+(* Stage 3: redirection — layout fixpoint, trampoline pool, emission. *)
+
+open Avr
+open Transform
+
+type outcome = {
+  nat : Naturalized.t;
+  mapping : (int * int) array;
+  reused_words : int;
+  diags : Diagnostic.t list;
+}
+
+let internal fmt =
+  Printf.ksprintf (fun s -> Rewrite_error.fail (Internal s)) fmt
+
+let run ~(recovery : Recovery.t) ~(sites : site array) ~base ~heap_end
+    (img : Asm.Image.t) : outcome =
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  (* Unrelocatable terms: a reachable one is a hard error (the branch
+     will be taken and there is no naturalized address to send it to);
+     an unreachable one is rewritten best-effort and flagged. *)
+  List.iter
+    (fun (src, tgt) ->
+      if Hashtbl.mem recovery.reachable src then
+        Rewrite_error.fail (Misaligned_target { addr = src; target = tgt })
+      else
+        diag
+          (Diagnostic.make Redirection Error ~addr:src "unrelocatable"
+             "unreachable branch to mid-instruction 0x%04x rewritten best-effort"
+             tgt))
+    recovery.unrelocatable;
+  let n = Array.length sites in
+  (* --- layout fixpoint: shift table + forward-branch range check ------- *)
+  let shift = ref (Shift_table.create ~base []) in
+  let islands = ref 0 and long_jumps = ref 0 in
+  let stable = ref false in
+  while not !stable do
+    let entries = ref [] in
+    Array.iter
+      (fun s -> if patched_size s > s.size then entries := s.addr :: !entries)
+      sites;
+    shift := Shift_table.create ~base !entries;
+    stable := true;
+    let nat a = Shift_table.to_naturalized !shift a in
+    Array.iter
+      (fun s ->
+        match s.patch with
+        | Cond (bit, if_set, tgt) ->
+          let off = nat tgt - (nat s.addr + 1) in
+          if off < -64 || off > 63 then begin
+            (* Promote to a range island; fall-through is s.addr + 1. *)
+            s.patch <- Jmp_to (Trampoline.Cond_island (bit, if_set, tgt, s.addr + 1));
+            incr islands;
+            stable := false
+          end
+        | Fwd_rjmp tgt when s.size = 1 ->
+          let off = nat tgt - (nat s.addr + 1) in
+          if off < -2048 || off > 2047 then begin
+            s.patch <- Inline (Jmp 0) (* placeholder; retargeted at emission *);
+            incr long_jumps;
+            stable := false
+          end
+        | _ -> ())
+      sites
+  done;
+  if !islands > 0 || !long_jumps > 0 then
+    diag
+      (Diagnostic.make Redirection Info "promoted"
+         "%d conditional branch%s promoted to range islands, %d rjmp%s to JMP"
+         !islands (if !islands = 1 then "" else "es")
+         !long_jumps (if !long_jumps = 1 then "" else "s"));
+  let shift = !shift in
+  let nat a = Shift_table.to_naturalized shift a in
+  let text_words = img.text_words + Shift_table.size shift in
+  (* --- rodata placement ------------------------------------------------ *)
+  let rodata_words = Array.length img.words - img.text_words in
+  let rodata_base = base + text_words in
+  let lpm_delta = 2 * (rodata_base - img.text_words) in
+  (* --- trampoline pool -------------------------------------------------- *)
+  let pool : (Trampoline.key, string) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let merged = ref 0 in
+  let fresh_tramp = ref 0 in
+  let rec request key =
+    match Hashtbl.find_opt pool key with
+    | Some l ->
+      incr merged;
+      l
+    | None ->
+      incr fresh_tramp;
+      let l = Printf.sprintf "t%d" !fresh_tramp in
+      Hashtbl.replace pool key l;
+      (* Materialize dependencies (shared services) eagerly so they are
+         part of the emitted program. *)
+      let stmts = Trampoline.body ~heap_end ~service:request key in
+      order := (l, stmts) :: !order;
+      l
+  in
+  (* Resolve the placeholder next/target fields now that nat() is fixed. *)
+  let patched = ref 0 in
+  let resolved_key s (key : Trampoline.key) : Trampoline.key =
+    let next1 = nat (s.addr + s.size) in
+    match key with
+    | Setsp (w, rs, -1) ->
+      (* Grouped pair skips the second instruction. *)
+      let skip = match w with `Both -> 2 | `Lo | `Hi -> s.size in
+      Setsp (w, rs, nat (s.addr + skip))
+    | Getsp (ds, -1) ->
+      let skip = if List.length ds = 2 && List.nth ds 0 <> List.nth ds 1 then 2 else s.size in
+      Getsp (ds, nat (s.addr + skip))
+    | Timer3_rd (ds, h, -1) ->
+      let skip = if List.length ds = 2 then 2 else s.size in
+      Timer3_rd (ds, h, nat (s.addr + skip))
+    | Yield (-1) -> Yield next1
+    | Push_head (r, b, -1) -> Push_head (r, b, next1)
+    | Lpm_tr (rd, inc, _, -1) -> Lpm_tr (rd, inc, lpm_delta, next1)
+    | Indirect_grp (ind, -1) ->
+      Indirect_grp (ind, nat (s.addr + List.length ind.accesses))
+    | Cond_branch (bit, set, tgt, -1) -> Cond_branch (bit, set, nat tgt, next1)
+    | Cond_branch (bit, set, tgt, fall) -> Cond_branch (bit, set, nat tgt, nat fall)
+    | Cond_island (bit, set, tgt, fall) -> Cond_island (bit, set, nat tgt, nat fall)
+    | Back_jump tgt -> Back_jump (nat tgt)
+    | Call_check tgt -> Call_check (nat tgt)
+    | k -> k
+  in
+  (* First walk: request every trampoline so the support program is
+     complete, remembering each site's label. *)
+  let site_label = Array.make n "" in
+  Array.iteri
+    (fun idx s ->
+      match s.patch with
+      | Jmp_to key | Call_to key ->
+        incr patched;
+        (try site_label.(idx) <- request (resolved_key s key)
+         with Trampoline.Unsupported reason ->
+           Rewrite_error.fail
+             (Unsupported { addr = s.addr; insn = Isa.show s.insn; reason }))
+      | Inline _ -> incr patched
+      | Keep | Skip | Cond _ | Fwd_rjmp _ | Verbatim -> ())
+    sites;
+  let support_prog =
+    Asm.Ast.program (img.name ^ ".support")
+      (List.concat_map (fun (l, stmts) -> Asm.Macros.lbl l :: stmts) (List.rev !order))
+  in
+  let support_base = rodata_base + rodata_words in
+  let support_img = Asm.Assembler.assemble ~base:support_base support_prog in
+  let tramp_addr l =
+    match Asm.Image.find_symbol support_img l with
+    | Some (Text a) -> a
+    | _ -> internal "trampoline label %s lost" l
+  in
+  (* --- emit patched text ------------------------------------------------ *)
+  let buf = ref [] in
+  let emit i = List.iter (fun w -> buf := w :: !buf) (Encode.words i) in
+  let emit_raw s = (* copy the original words unchanged (Skip/Verbatim) *)
+    for w = s.addr to s.addr + s.size - 1 do
+      buf := img.words.(w) :: !buf
+    done
+  in
+  Array.iteri
+    (fun idx s ->
+      match s.patch with
+      | Keep -> emit s.insn
+      | Skip | Verbatim -> emit_raw s
+      | Inline (Jmp _) ->
+        (* Promoted forward rjmp: retarget. *)
+        (match s.patch, s.insn with
+         | _, (Rjmp k | Rcall k) -> emit (Jmp (nat (s.addr + s.size + k)))
+         | _, Jmp a -> emit (Jmp (nat a))
+         | _ -> internal "bad Inline Jmp site")
+      | Inline i -> emit i
+      | Jmp_to _ -> emit (Jmp (tramp_addr site_label.(idx)))
+      | Call_to _ -> emit (Call (tramp_addr site_label.(idx)))
+      | Cond (bit, if_set, tgt) ->
+        let off = nat tgt - (nat s.addr + 1) in
+        emit (if if_set then Brbs (bit, off) else Brbc (bit, off))
+      | Fwd_rjmp tgt ->
+        (match s.insn with
+         | Rjmp _ ->
+           let off = nat tgt - (nat s.addr + 1) in
+           emit (Rjmp off)
+         | Jmp _ -> emit (Jmp (nat tgt))
+         | _ -> internal "bad Fwd_rjmp site"))
+    sites;
+  let text = Array.of_list (List.rev !buf) in
+  if Array.length text <> text_words then
+    internal "text size %d, expected %d" (Array.length text) text_words;
+  (* Reused words: sites whose emitted form is word-identical in place
+     (renovate's riReusedByteCount). *)
+  let reused_words = ref 0 in
+  Array.iter
+    (fun s ->
+      let psize = patched_size s in
+      if psize = s.size then begin
+        let at = nat s.addr - base in
+        let same = ref true in
+        for k = 0 to s.size - 1 do
+          if text.(at + k) <> img.words.(s.addr + k) then same := false
+        done;
+        if !same then reused_words := !reused_words + s.size
+      end)
+    sites;
+  let rodata = Array.sub img.words img.text_words rodata_words in
+  let words = Array.concat [ text; rodata; support_img.words ] in
+  let nat_image =
+    { Naturalized.source = img;
+      base;
+      words;
+      text_words;
+      rodata_words;
+      support_words = Array.length support_img.words;
+      shift;
+      heap_end_logical = heap_end;
+      entry = nat img.entry;
+      stats =
+        { patched = !patched;
+          trampolines = !fresh_tramp;
+          merged = !merged;
+          shift_entries = Shift_table.size shift } }
+  in
+  let mapping =
+    Array.map (fun (b : Recovery.block) -> (b.b_start, nat b.b_start)) recovery.blocks
+  in
+  { nat = nat_image; mapping; reused_words = !reused_words; diags = List.rev !diags }

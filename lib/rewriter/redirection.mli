@@ -1,0 +1,37 @@
+(** Stage 3 of the rewriting pipeline: redirection.
+
+    Lays the patched program out: runs the shift-table fixpoint
+    (promoting conditional branches and relative jumps whose naturalized
+    span leaves their encoding range), materializes the trampoline pool
+    (identical bodies merged), fixes every relocation up through the
+    [nat(a) = base + a + #(shift entries < a)] mapping, and emits the
+    final {!Naturalized.t} image together with an auditable
+    old-address → new-address mapping for every recovered block.
+
+    Fails with {!Rewrite_error.E} [Misaligned_target] when a {e
+    reachable} branch targets an address that begins no recovered
+    instruction; the same term in unreachable code only produces an
+    [Error]-severity diagnostic (the bytes are still rewritten, best
+    effort). *)
+
+type outcome = {
+  nat : Naturalized.t;  (** the finished image *)
+  mapping : (int * int) array;
+      (** (original block start, naturalized flash word address) for
+          every block {!Recovery} found, in program order *)
+  reused_words : int;
+      (** words of the patched text byte-identical to the original
+          image at the corresponding address (renovate's
+          [riReusedByteCount], in words) *)
+  diags : Diagnostic.t list;  (** stage diagnostics *)
+}
+
+(** [run ~recovery ~sites ~base ~heap_end img] emits the naturalized
+    image for loading at flash word address [base]. *)
+val run :
+  recovery:Recovery.t ->
+  sites:Transform.site array ->
+  base:int ->
+  heap_end:int ->
+  Asm.Image.t ->
+  outcome

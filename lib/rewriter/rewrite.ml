@@ -1,458 +1,35 @@
-(* The base-station binary rewriter (Section IV-A).
+(* The base-station binary rewriter (Section IV-A): the pipeline driver.
 
-   The patched text preserves the instruction count of the original
-   program: every patched instruction becomes exactly one instruction
-   (JMP/CALL into a trampoline, or a same-size inline replacement).
-   Where a 16-bit instruction becomes a 32-bit JMP/CALL the extra word is
-   recorded in the shift table, giving the approximate linearity the
-   paper relies on for runtime address mapping. *)
+   The work happens in the three stage modules — Recovery (block
+   recovery over the decoded text), Transform (patch selection and
+   grouping), Redirection (layout fixpoint, trampoline pool, emission).
+   This module wires them together and assembles the Report. *)
 
-open Avr
+type error = Rewrite_error.t =
+  | Out_of_heap of { addr : int; insn : string; target : int; heap_end : int }
+  | Misaligned_target of { addr : int; target : int }
+  | Unsupported of { addr : int; insn : string; reason : string }
+  | Internal of string
 
-exception Error of string
+exception Error = Rewrite_error.E
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let error_message = Rewrite_error.message
 
-type config = {
+type config = Transform.config = {
   group_accesses : bool;
-      (** Section IV-C2: translate grouped LDD/STD runs once.  Exposed so
-          the ablation bench can measure the optimization. *)
-  group_sp : bool;  (** group IN/OUT SPL..SPH pairs into one kernel call *)
-  group_pushes : bool;  (** one stack check per PUSH run *)
+  group_sp : bool;
+  group_pushes : bool;
   preempt : bool;
-      (** patch backward branches with the software-trap counter; turning
-          this off yields the "memory protection only" configuration of
-          Figure 5 *)
 }
 
-let default_config =
-  { group_accesses = true; group_sp = true; group_pushes = true; preempt = true }
+let default_config = Transform.default_config
 
-type patch =
-  | Keep
-  | Inline of Isa.t  (* same-size or +1-word replacement emitted in place *)
-  | Jmp_to of Trampoline.key  (* replace with JMP tramp *)
-  | Call_to of Trampoline.key  (* replace with CALL tramp *)
-  | Skip  (* member of a group, bypassed by the head's back-jump *)
-  | Cond of int * bool * int  (* forward cond branch: bit, if_set, orig target *)
-  | Fwd_rjmp of int  (* forward rjmp: orig target *)
-
-type site = {
-  addr : int;
-  insn : Isa.t;
-  size : int;
-  mutable patch : patch;
-}
-
-(* Round stack-check requirements up to buckets so one shared check
-   service covers many sites (more trampoline merging). *)
-let check_bucket n = (n + 7) / 8 * 8
-
-let spl = Machine.Io.spl
-let sph = Machine.Io.sph
-let tcnt3l = Machine.Io.tcnt3l
-let tcnt3h = Machine.Io.tcnt3h
-
-(* Static branch targets of the original program: every explicit branch
-   destination plus every text label (labels over-approximate the
-   possible indirect targets, keeping grouped patches safe). *)
-let branch_targets (img : Asm.Image.t) sites =
-  let tgts = Hashtbl.create 64 in
-  let add a = Hashtbl.replace tgts a () in
-  Array.iter
-    (fun s ->
-      match Isa.relative_target s.insn with
-      | Some k -> add (s.addr + s.size + k)
-      | None ->
-        (match s.insn with
-         | Jmp a | Call a -> add a
-         | _ -> ()))
-    sites;
-  List.iter (function _, Asm.Image.Text a -> add a | _ -> ()) img.symbols;
-  tgts
-
-(* Decide the patch for each instruction.  Grouping is done first so the
-   per-instruction classification below can skip group members. *)
-let classify ~config ~heap_end (img : Asm.Image.t) : site array =
-  let decoded =
-    Decode.program (Array.sub img.words 0 img.text_words)
-  in
-  let sites =
-    Array.of_list
-      (List.map (fun (addr, insn) -> { addr; insn; size = Isa.words insn; patch = Keep })
-         decoded)
-  in
-  let n = Array.length sites in
-  let targets = branch_targets img sites in
-  let is_target a = Hashtbl.mem targets a in
-  let has_rodata = Array.length img.words > img.text_words in
-  (* --- group detection ------------------------------------------------- *)
-  let grouped = Array.make n false in
-  let mark i = grouped.(i) <- true in
-  if config.group_sp then begin
-    for i = 0 to n - 2 do
-      let a = sites.(i) and b = sites.(i + 1) in
-      if (not grouped.(i)) && (not grouped.(i + 1)) && not (is_target b.addr) then
-        match (a.insn, b.insn) with
-        | Out (pa, rl), Out (pb, rh) when pa = spl && pb = sph ->
-          a.patch <- Jmp_to (Trampoline.Setsp (`Both, [ rl; rh ], -1));
-          b.patch <- Skip;
-          mark i; mark (i + 1)
-        | In (rl, pa), In (rh, pb) when pa = spl && pb = sph ->
-          a.patch <- Jmp_to (Trampoline.Getsp ([ rl; rh ], -1));
-          b.patch <- Skip;
-          mark i; mark (i + 1)
-        | In (rl, pa), In (rh, pb) when pa = tcnt3l && pb = tcnt3h ->
-          a.patch <- Jmp_to (Trampoline.Timer3_rd ([ rl; rh ], false, -1));
-          b.patch <- Skip;
-          mark i; mark (i + 1)
-        | _ -> ()
-    done
-  end;
-  if config.group_pushes then begin
-    let i = ref 0 in
-    while !i < n do
-      (match sites.(!i).insn with
-       | Push r when not grouped.(!i) ->
-         (* Extend the run while successors are pushes and not targets. *)
-         let j = ref (!i + 1) in
-         while
-           !j < n
-           && (match sites.(!j).insn with Push _ -> true | _ -> false)
-           && (not (is_target sites.(!j).addr))
-           && not grouped.(!j)
-         do
-           incr j
-         done;
-         let run = !j - !i in
-         sites.(!i).patch <-
-           Jmp_to (Trampoline.Push_head (r, check_bucket (run + Kcells.stack_reserve), -1));
-         mark !i;
-         (* Remaining pushes of the run execute natively, ungrouped. *)
-         for k = !i + 1 to !j - 1 do
-           mark k;
-           sites.(k).patch <- Keep
-         done;
-         i := !j
-       | _ -> incr i)
-    done
-  end;
-  if config.group_accesses then begin
-    (* Runs of LDD/STD through the same pointer pair, translated once. *)
-    let acc_of insn =
-      match insn with
-      | Isa.Ldd (rd, b, q) -> Some ((if b = Ybase then 28 else 30), Trampoline.Load (rd, q))
-      | Isa.Std (b, q, rr) -> Some ((if b = Ybase then 28 else 30), Trampoline.Store (rr, q))
-      | _ -> None
-    in
-    let i = ref 0 in
-    while !i < n do
-      (match acc_of sites.(!i).insn with
-       | Some (ptr, first) when not grouped.(!i) ->
-         let accs = ref [ first ] in
-         let j = ref (!i + 1) in
-         let continue = ref true in
-         while !continue && !j < n && !j - !i < 4 do
-           match acc_of sites.(!j).insn with
-           | Some (p, a)
-             when p = ptr && (not (is_target sites.(!j).addr)) && not grouped.(!j) ->
-             (* A load that overwrites the pointer pair ends the run. *)
-             let clobbers =
-               match a with
-               | Trampoline.Load (rd, _) -> rd = ptr || rd = ptr + 1
-               | Trampoline.Store _ -> false
-             in
-             if clobbers then continue := false
-             else begin
-               accs := a :: !accs;
-               incr j
-             end
-           | _ -> continue := false
-         done;
-         let accesses = List.rev !accs in
-         (if List.length accesses > 1 then begin
-            sites.(!i).patch <-
-              Jmp_to (Trampoline.Indirect_grp ({ ptr; mode = Plain; accesses }, -1));
-            mark !i;
-            for k = !i + 1 to !j - 1 do
-              mark k;
-              sites.(k).patch <- Skip
-            done
-          end);
-         i := !j
-       | _ -> incr i)
-    done
-  end;
-  (* --- per-instruction classification ---------------------------------- *)
-  Array.iteri
-    (fun idx s ->
-      if not grouped.(idx) then
-        match s.insn with
-        | Break -> s.patch <- Inline (Syscall Kcells.sys_exit)
-        | Sleep -> s.patch <- Jmp_to (Trampoline.Yield (-1))
-        | Brbs (bit, k) ->
-          let tgt = s.addr + s.size + k in
-          if tgt <= s.addr && config.preempt then
-            s.patch <- Jmp_to (Trampoline.Cond_branch (bit, true, tgt, -1))
-          else s.patch <- Cond (bit, true, tgt)
-        | Brbc (bit, k) ->
-          let tgt = s.addr + s.size + k in
-          if tgt <= s.addr && config.preempt then
-            s.patch <- Jmp_to (Trampoline.Cond_branch (bit, false, tgt, -1))
-          else s.patch <- Cond (bit, false, tgt)
-        | Rjmp k ->
-          let tgt = s.addr + s.size + k in
-          if tgt <= s.addr && config.preempt then
-            s.patch <- Jmp_to (Trampoline.Back_jump tgt)
-          else s.patch <- Fwd_rjmp tgt
-        | Rcall k -> s.patch <- Call_to (Trampoline.Call_check (s.addr + s.size + k))
-        | Call a -> s.patch <- Call_to (Trampoline.Call_check a)
-        | Jmp a ->
-          (* Retargeted at emission; backward absolute jumps also count
-             as loop edges for the software trap. *)
-          if a <= s.addr && config.preempt then
-            s.patch <- Jmp_to (Trampoline.Back_jump a)
-          else s.patch <- Fwd_rjmp a
-        | Icall -> s.patch <- Call_to Trampoline.Icall_tr
-        | Ijmp -> s.patch <- Jmp_to Trampoline.Ijmp_tr
-        | Lds (rd, a) ->
-          if a >= Machine.Layout.io_size then begin
-            if a >= heap_end then fail "lds 0x%04x outside the heap (end 0x%04x)" a heap_end;
-            s.patch <- Call_to (Trampoline.Direct (false, rd, a))
-          end
-        | Sts (a, rr) ->
-          if a >= Machine.Layout.io_size then begin
-            if a >= heap_end then fail "sts 0x%04x outside the heap (end 0x%04x)" a heap_end;
-            s.patch <- Call_to (Trampoline.Direct (true, rr, a))
-          end
-        | Ld (rd, p) ->
-          let ptr, mode =
-            match p with
-            | X -> (26, Trampoline.Plain)
-            | X_inc -> (26, Postinc)
-            | X_dec -> (26, Predec)
-            | Y_inc -> (28, Postinc)
-            | Y_dec -> (28, Predec)
-            | Z_inc -> (30, Postinc)
-            | Z_dec -> (30, Predec)
-          in
-          s.patch <-
-            Call_to (Trampoline.Indirect { ptr; mode; accesses = [ Load (rd, 0) ] })
-        | St (p, rr) ->
-          let ptr, mode =
-            match p with
-            | X -> (26, Trampoline.Plain)
-            | X_inc -> (26, Postinc)
-            | X_dec -> (26, Predec)
-            | Y_inc -> (28, Postinc)
-            | Y_dec -> (28, Predec)
-            | Z_inc -> (30, Postinc)
-            | Z_dec -> (30, Predec)
-          in
-          s.patch <-
-            Call_to (Trampoline.Indirect { ptr; mode; accesses = [ Store (rr, 0) ] })
-        | Ldd (rd, b, q) ->
-          let ptr = if b = Ybase then 28 else 30 in
-          s.patch <-
-            Call_to (Trampoline.Indirect { ptr; mode = Plain; accesses = [ Load (rd, q) ] })
-        | Std (b, q, rr) ->
-          let ptr = if b = Ybase then 28 else 30 in
-          s.patch <-
-            Call_to (Trampoline.Indirect { ptr; mode = Plain; accesses = [ Store (rr, q) ] })
-        | Push r -> s.patch <- Jmp_to (Trampoline.Push_head (r, check_bucket (1 + Kcells.stack_reserve), -1))
-        | In (rd, p) when p = spl -> s.patch <- Jmp_to (Trampoline.Getsp ([ rd ], -1))
-        | In (rd, p) when p = sph ->
-          (* A lone SPH read: deliver the high byte. *)
-          s.patch <- Jmp_to (Trampoline.Getsp ([ rd; rd ], -1))
-        | Out (p, r) when p = spl -> s.patch <- Jmp_to (Trampoline.Setsp (`Lo, [ r ], -1))
-        | Out (p, r) when p = sph -> s.patch <- Jmp_to (Trampoline.Setsp (`Hi, [ r ], -1))
-        | In (rd, p) when p = tcnt3l ->
-          s.patch <- Jmp_to (Trampoline.Timer3_rd ([ rd ], false, -1))
-        | In (rd, p) when p = tcnt3h ->
-          s.patch <- Jmp_to (Trampoline.Timer3_rd ([ rd ], true, -1))
-        | Out (p, _) when p = tcnt3l || p = tcnt3h ->
-          (* Timer3 belongs to the kernel; writes are dropped. *)
-          s.patch <- Inline Nop
-        | Lpm (rd, inc) ->
-          if has_rodata then s.patch <- Jmp_to (Trampoline.Lpm_tr (rd, inc, 0, -1))
-        | Nop | Movw _ | Add _ | Adc _ | Sub _ | Sbc _ | And _ | Or _ | Eor _
-        | Mov _ | Cp _ | Cpc _ | Mul _ | Cpi _ | Sbci _ | Subi _ | Ori _
-        | Andi _ | Ldi _ | Adiw _ | Sbiw _ | Com _ | Neg _ | Swap _ | Inc _
-        | Dec _ | Asr _ | Lsr _ | Ror _ | Pop _ | In _ | Out _ | Ret | Reti
-        | Bset _ | Bclr _ | Wdr | Syscall _ -> ())
-    sites;
-  sites
-
-(* Patched size of a site, in words. *)
-let patched_size s =
-  match s.patch with
-  | Keep | Skip -> s.size
-  | Inline i -> Isa.words i
-  | Jmp_to _ | Call_to _ -> 2
-  | Cond _ -> max s.size 1 (* may be promoted to Jmp_to by the fixpoint *)
-  | Fwd_rjmp _ -> s.size
-
-(** Naturalize one image, to be loaded at flash word address [base]. *)
-let run ?(config = default_config) ~base (img : Asm.Image.t) : Naturalized.t =
+let pipeline ?(config = default_config) ~base (img : Asm.Image.t) :
+    Naturalized.t * Report.t =
   let heap_end = Asm.Image.heap_base + img.data_size in
-  let sites = classify ~config ~heap_end img in
-  let n = Array.length sites in
-  (* --- layout fixpoint: shift table + forward-branch range check ------- *)
-  let shift = ref (Shift_table.create ~base []) in
-  let stable = ref false in
-  while not !stable do
-    let entries = ref [] in
-    Array.iter
-      (fun s -> if patched_size s > s.size then entries := s.addr :: !entries)
-      sites;
-    shift := Shift_table.create ~base !entries;
-    stable := true;
-    let nat a = Shift_table.to_naturalized !shift a in
-    Array.iter
-      (fun s ->
-        match s.patch with
-        | Cond (bit, if_set, tgt) ->
-          let off = nat tgt - (nat s.addr + 1) in
-          if off < -64 || off > 63 then begin
-            (* Promote to a range island; fall-through is s.addr + 1. *)
-            s.patch <- Jmp_to (Trampoline.Cond_island (bit, if_set, tgt, s.addr + 1));
-            stable := false
-          end
-        | Fwd_rjmp tgt when s.size = 1 ->
-          let off = nat tgt - (nat s.addr + 1) in
-          if off < -2048 || off > 2047 then begin
-            s.patch <- Inline (Jmp 0) (* placeholder; retargeted at emission *);
-            stable := false
-          end
-        | _ -> ())
-      sites
-  done;
-  let shift = !shift in
-  let nat a = Shift_table.to_naturalized shift a in
-  let text_words = img.text_words + Shift_table.size shift in
-  (* --- rodata placement ------------------------------------------------ *)
-  let rodata_words = Array.length img.words - img.text_words in
-  let rodata_base = base + text_words in
-  let lpm_delta = 2 * (rodata_base - img.text_words) in
-  (* --- trampoline pool -------------------------------------------------- *)
-  let pool : (Trampoline.key, string) Hashtbl.t = Hashtbl.create 64 in
-  let order = ref [] in
-  let merged = ref 0 in
-  let fresh_tramp = ref 0 in
-  let rec request key =
-    match Hashtbl.find_opt pool key with
-    | Some l ->
-      incr merged;
-      l
-    | None ->
-      incr fresh_tramp;
-      let l = Printf.sprintf "t%d" !fresh_tramp in
-      Hashtbl.replace pool key l;
-      (* Materialize dependencies (shared services) eagerly so they are
-         part of the emitted program. *)
-      let stmts = Trampoline.body ~heap_end ~service:request key in
-      order := (l, stmts) :: !order;
-      l
-  in
-  (* Resolve the placeholder next/target fields now that nat() is fixed. *)
-  let patched = ref 0 in
-  let resolved_key s (key : Trampoline.key) : Trampoline.key =
-    let next1 = nat (s.addr + s.size) in
-    match key with
-    | Setsp (w, rs, -1) ->
-      (* Grouped pair skips the second instruction. *)
-      let skip = match w with `Both -> 2 | `Lo | `Hi -> s.size in
-      Setsp (w, rs, nat (s.addr + skip))
-    | Getsp (ds, -1) ->
-      let skip = if List.length ds = 2 && List.nth ds 0 <> List.nth ds 1 then 2 else s.size in
-      Getsp (ds, nat (s.addr + skip))
-    | Timer3_rd (ds, h, -1) ->
-      let skip = if List.length ds = 2 then 2 else s.size in
-      Timer3_rd (ds, h, nat (s.addr + skip))
-    | Yield (-1) -> Yield next1
-    | Push_head (r, b, -1) -> Push_head (r, b, next1)
-    | Lpm_tr (rd, inc, _, -1) -> Lpm_tr (rd, inc, lpm_delta, next1)
-    | Indirect_grp (ind, -1) ->
-      Indirect_grp (ind, nat (s.addr + List.length ind.accesses))
-    | Cond_branch (bit, set, tgt, -1) -> Cond_branch (bit, set, nat tgt, next1)
-    | Cond_branch (bit, set, tgt, fall) -> Cond_branch (bit, set, nat tgt, nat fall)
-    | Cond_island (bit, set, tgt, fall) -> Cond_island (bit, set, nat tgt, nat fall)
-    | Back_jump tgt -> Back_jump (nat tgt)
-    | Call_check tgt -> Call_check (nat tgt)
-    | k -> k
-  in
-  (* First walk: request every trampoline so the support program is
-     complete, remembering each site's label. *)
-  let site_label = Array.make n "" in
-  Array.iteri
-    (fun idx s ->
-      match s.patch with
-      | Jmp_to key | Call_to key ->
-        incr patched;
-        site_label.(idx) <- request (resolved_key s key)
-      | Inline _ -> incr patched
-      | Keep | Skip | Cond _ | Fwd_rjmp _ -> ())
-    sites;
-  let support_prog =
-    Asm.Ast.program (img.name ^ ".support")
-      (List.concat_map (fun (l, stmts) -> Asm.Macros.lbl l :: stmts) (List.rev !order))
-  in
-  let support_base = rodata_base + rodata_words in
-  let support_img = Asm.Assembler.assemble ~base:support_base support_prog in
-  let tramp_addr l =
-    match Asm.Image.find_symbol support_img l with
-    | Some (Text a) -> a
-    | _ -> fail "internal: trampoline label %s lost" l
-  in
-  (* --- emit patched text ------------------------------------------------ *)
-  let buf = ref [] in
-  let emit i = List.iter (fun w -> buf := w :: !buf) (Encode.words i) in
-  let emit_raw s = (* copy the original words unchanged (Skip) *)
-    for w = s.addr to s.addr + s.size - 1 do
-      buf := img.words.(w) :: !buf
-    done
-  in
-  Array.iteri
-    (fun idx s ->
-      match s.patch with
-      | Keep -> emit s.insn
-      | Skip -> emit_raw s
-      | Inline (Jmp _) ->
-        (* Promoted forward rjmp: retarget. *)
-        (match s.patch, s.insn with
-         | _, (Rjmp k | Rcall k) -> emit (Jmp (nat (s.addr + s.size + k)))
-         | _, Jmp a -> emit (Jmp (nat a))
-         | _ -> fail "internal: bad Inline Jmp site")
-      | Inline i -> emit i
-      | Jmp_to _ -> emit (Jmp (tramp_addr site_label.(idx)))
-      | Call_to _ -> emit (Call (tramp_addr site_label.(idx)))
-      | Cond (bit, if_set, tgt) ->
-        let off = nat tgt - (nat s.addr + 1) in
-        emit (if if_set then Brbs (bit, off) else Brbc (bit, off))
-      | Fwd_rjmp tgt ->
-        (match s.insn with
-         | Rjmp _ ->
-           let off = nat tgt - (nat s.addr + 1) in
-           emit (Rjmp off)
-         | Jmp _ -> emit (Jmp (nat tgt))
-         | _ -> fail "internal: bad Fwd_rjmp site"))
-    sites;
-  let text = Array.of_list (List.rev !buf) in
-  if Array.length text <> text_words then
-    fail "internal: text size %d, expected %d" (Array.length text) text_words;
-  let rodata = Array.sub img.words img.text_words rodata_words in
-  let words = Array.concat [ text; rodata; support_img.words ] in
-  { Naturalized.source = img;
-    base;
-    words;
-    text_words;
-    rodata_words;
-    support_words = Array.length support_img.words;
-    shift;
-    heap_end_logical = heap_end;
-    entry = nat img.entry;
-    stats =
-      { patched = !patched;
-        trampolines = !fresh_tramp;
-        merged = !merged;
-        shift_entries = Shift_table.size shift } }
+  let recovery = Recovery.run img in
+  let sites, transform_diags = Transform.classify ~config ~recovery ~heap_end img in
+  let outcome = Redirection.run ~recovery ~sites ~base ~heap_end img in
+  (outcome.nat, Report.make ~recovery ~transform_diags ~outcome img)
+
+let run ?config ~base img = fst (pipeline ?config ~base img)

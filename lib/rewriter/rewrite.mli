@@ -1,13 +1,42 @@
 (** The base-station binary rewriter (Section IV-A of the paper).
 
+    Naturalization runs as an explicit three-stage pipeline:
+
+    + {!Recovery} — tolerant decode, branch-target set, reachability,
+      basic-block slicing (with a conservative fallback for symbol-less
+      images containing computed jumps);
+    + {!Transform} — patch selection and the grouping optimizations of
+      Section IV-C2;
+    + {!Redirection} — shift-table layout fixpoint, trampoline pool
+      with merging, relocation fixup through
+      [nat(a) = base + a + #(entries < a)], and emission.
+
     The patched text preserves the instruction count of the original
     program; 16→32-bit inflations are recorded in the {!Shift_table}.
     Trampolines — real AVR code — are appended after the program, with
-    identical bodies merged. *)
+    identical bodies merged.
 
-exception Error of string
+    Fatal conditions raise the typed {!Error} carrying the original
+    source address; non-fatal observations surface as {!Diagnostic}s in
+    the {!Report.t} that {!pipeline} returns. *)
 
-type config = {
+(** Why a rewrite was abandoned (re-exported from {!Rewrite_error} so
+    callers can match without opening a second module). *)
+type error = Rewrite_error.t =
+  | Out_of_heap of { addr : int; insn : string; target : int; heap_end : int }
+      (** direct LDS/STS beyond the task's static heap bound *)
+  | Misaligned_target of { addr : int; target : int }
+      (** reachable branch into the middle of an instruction *)
+  | Unsupported of { addr : int; insn : string; reason : string }
+      (** no trampoline exists for the operand combination *)
+  | Internal of string  (** rewriter bug, not an input property *)
+
+exception Error of error
+
+(** Human-readable rendering of an {!error}. *)
+val error_message : error -> string
+
+type config = Transform.config = {
   group_accesses : bool;
       (** Section IV-C2: translate grouped LDD/STD runs once *)
   group_sp : bool;  (** group IN/OUT SPL..SPH pairs into one kernel call *)
@@ -21,3 +50,8 @@ val default_config : config
 
 (** Naturalize one image, to be loaded at flash word address [base]. *)
 val run : ?config:config -> base:int -> Asm.Image.t -> Naturalized.t
+
+(** Like {!run}, also returning the full {!Report.t} (stage
+    diagnostics, block mapping, size accounting). *)
+val pipeline :
+  ?config:config -> base:int -> Asm.Image.t -> Naturalized.t * Report.t

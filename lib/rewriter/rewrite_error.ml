@@ -1,0 +1,28 @@
+(* Typed fatal errors for the rewriting pipeline. *)
+
+type t =
+  | Out_of_heap of { addr : int; insn : string; target : int; heap_end : int }
+  | Misaligned_target of { addr : int; target : int }
+  | Unsupported of { addr : int; insn : string; reason : string }
+  | Internal of string
+
+exception E of t
+
+let fail e = raise (E e)
+
+let message = function
+  | Out_of_heap { addr; insn; target; heap_end } ->
+    Printf.sprintf "0x%04x: %s touches data address 0x%04x outside the heap (end 0x%04x)"
+      addr insn target heap_end
+  | Misaligned_target { addr; target } ->
+    Printf.sprintf
+      "0x%04x: branch targets 0x%04x, which does not begin a recovered instruction"
+      addr target
+  | Unsupported { addr; insn; reason } ->
+    Printf.sprintf "0x%04x: no trampoline for %s (%s)" addr insn reason
+  | Internal s -> Printf.sprintf "internal rewriter invariant broken: %s" s
+
+let () =
+  Printexc.register_printer (function
+    | E e -> Some (Printf.sprintf "Rewriter.Rewrite_error.E (%s)" (message e))
+    | _ -> None)

@@ -1,0 +1,33 @@
+(** Typed fatal errors of the rewriting pipeline.
+
+    Every condition that forces the rewriter to give up carries the
+    source address (original flash word address) of the offending
+    construct, so a failed rewrite of a multi-kilobyte firmware image
+    points at the exact instruction rather than producing a bare
+    string.  Non-fatal observations are {!Diagnostic}s instead. *)
+
+type t =
+  | Out_of_heap of { addr : int; insn : string; target : int; heap_end : int }
+      (** a direct [LDS]/[STS] at original address [addr] touches data
+          address [target], beyond the task's static heap bound
+          [heap_end] — the image declares too little [data_size] or is
+          genuinely out of bounds *)
+  | Misaligned_target of { addr : int; target : int }
+      (** a reachable branch at [addr] targets flash word [target],
+          which does not begin an instruction of the recovered program
+          (it falls mid-instruction or inside an undecodable gap), so no
+          naturalized address exists for it *)
+  | Unsupported of { addr : int; insn : string; reason : string }
+      (** the instruction at [addr] needs a trampoline the backend
+          cannot build (operand outside the supported subset) *)
+  | Internal of string
+      (** invariant violation inside the rewriter itself — a bug, not a
+          property of the input image *)
+
+exception E of t
+
+(** Raise [E]. *)
+val fail : t -> 'a
+
+(** Human-readable rendering, used by the CLI and [Printexc] printing. *)
+val message : t -> string

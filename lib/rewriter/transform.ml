@@ -1,0 +1,304 @@
+(* Stage 2: the naturalizing transform (patch selection + grouping).
+
+   The patched text preserves the instruction count of the original
+   program: every patched instruction becomes exactly one instruction
+   (JMP/CALL into a trampoline, or a same-size inline replacement).
+   Where a 16-bit instruction becomes a 32-bit JMP/CALL the extra word
+   is recorded in the shift table, giving the approximate linearity the
+   paper relies on for runtime address mapping. *)
+
+open Avr
+
+type config = {
+  group_accesses : bool;
+  group_sp : bool;
+  group_pushes : bool;
+  preempt : bool;
+}
+
+let default_config =
+  { group_accesses = true; group_sp = true; group_pushes = true; preempt = true }
+
+type patch =
+  | Keep
+  | Inline of Isa.t
+  | Jmp_to of Trampoline.key
+  | Call_to of Trampoline.key
+  | Skip
+  | Cond of int * bool * int
+  | Fwd_rjmp of int
+  | Verbatim
+
+type site = {
+  addr : int;
+  insn : Isa.t;
+  size : int;
+  mutable patch : patch;
+}
+
+(* Round stack-check requirements up to buckets so one shared check
+   service covers many sites (more trampoline merging). *)
+let check_bucket n = (n + 7) / 8 * 8
+
+let spl = Machine.Io.spl
+let sph = Machine.Io.sph
+let tcnt3l = Machine.Io.tcnt3l
+let tcnt3h = Machine.Io.tcnt3h
+
+let patched_size s =
+  match s.patch with
+  | Keep | Skip | Verbatim -> s.size
+  | Inline i -> Isa.words i
+  | Jmp_to _ | Call_to _ -> 2
+  | Cond _ -> max s.size 1 (* may be promoted to Jmp_to by the fixpoint *)
+  | Fwd_rjmp _ -> s.size
+
+(* Sites in program order: recovered instructions plus verbatim gaps. *)
+let build_sites (recovery : Recovery.t) : site array =
+  let insns =
+    Array.to_list
+      (Array.map
+         (fun (addr, insn, size) -> { addr; insn; size; patch = Keep })
+         recovery.sites)
+  in
+  let gaps =
+    Array.to_list
+      (Array.map
+         (fun (addr, words) -> { addr; insn = Isa.Nop; size = words; patch = Verbatim })
+         recovery.gaps)
+  in
+  let all = List.sort (fun a b -> compare a.addr b.addr) (insns @ gaps) in
+  Array.of_list all
+
+let classify ~config ~(recovery : Recovery.t) ~heap_end (img : Asm.Image.t) :
+    site array * Diagnostic.t list =
+  ignore img;
+  let sites = build_sites recovery in
+  let n = Array.length sites in
+  let is_target a = Hashtbl.mem recovery.targets a in
+  let has_rodata = Array.length img.words > img.text_words in
+  (* --- group detection ------------------------------------------------- *)
+  let grouped = Array.make n false in
+  let mark i = grouped.(i) <- true in
+  (* Gaps take no part in grouping or classification. *)
+  Array.iteri (fun i s -> if s.patch = Verbatim then mark i) sites;
+  let sp_pairs = ref 0 and push_runs = ref 0 and access_runs = ref 0 in
+  if config.group_sp then begin
+    for i = 0 to n - 2 do
+      let a = sites.(i) and b = sites.(i + 1) in
+      if (not grouped.(i)) && (not grouped.(i + 1)) && not (is_target b.addr) then
+        match (a.insn, b.insn) with
+        | Out (pa, rl), Out (pb, rh) when pa = spl && pb = sph ->
+          a.patch <- Jmp_to (Trampoline.Setsp (`Both, [ rl; rh ], -1));
+          b.patch <- Skip;
+          incr sp_pairs;
+          mark i; mark (i + 1)
+        | Out (pa, rh), Out (pb, rl) when pa = sph && pb = spl ->
+          (* avr-gcc's crt0 sets SPH first; same atomic pair. *)
+          a.patch <- Jmp_to (Trampoline.Setsp (`Both, [ rl; rh ], -1));
+          b.patch <- Skip;
+          incr sp_pairs;
+          mark i; mark (i + 1)
+        | In (rl, pa), In (rh, pb) when pa = spl && pb = sph ->
+          a.patch <- Jmp_to (Trampoline.Getsp ([ rl; rh ], -1));
+          b.patch <- Skip;
+          incr sp_pairs;
+          mark i; mark (i + 1)
+        | In (rl, pa), In (rh, pb) when pa = tcnt3l && pb = tcnt3h ->
+          a.patch <- Jmp_to (Trampoline.Timer3_rd ([ rl; rh ], false, -1));
+          b.patch <- Skip;
+          incr sp_pairs;
+          mark i; mark (i + 1)
+        | _ -> ()
+    done
+  end;
+  if config.group_pushes then begin
+    let i = ref 0 in
+    while !i < n do
+      (match sites.(!i).insn with
+       | Push r when not grouped.(!i) ->
+         (* Extend the run while successors are pushes and not targets. *)
+         let j = ref (!i + 1) in
+         while
+           !j < n
+           && (match sites.(!j).insn with Push _ -> true | _ -> false)
+           && (not (is_target sites.(!j).addr))
+           && not grouped.(!j)
+         do
+           incr j
+         done;
+         let run = !j - !i in
+         if run > 1 then incr push_runs;
+         sites.(!i).patch <-
+           Jmp_to (Trampoline.Push_head (r, check_bucket (run + Kcells.stack_reserve), -1));
+         mark !i;
+         (* Remaining pushes of the run execute natively, ungrouped. *)
+         for k = !i + 1 to !j - 1 do
+           mark k;
+           sites.(k).patch <- Keep
+         done;
+         i := !j
+       | _ -> incr i)
+    done
+  end;
+  if config.group_accesses then begin
+    (* Runs of LDD/STD through the same pointer pair, translated once. *)
+    let acc_of insn =
+      match insn with
+      | Isa.Ldd (rd, b, q) -> Some ((if b = Ybase then 28 else 30), Trampoline.Load (rd, q))
+      | Isa.Std (b, q, rr) -> Some ((if b = Ybase then 28 else 30), Trampoline.Store (rr, q))
+      | _ -> None
+    in
+    let i = ref 0 in
+    while !i < n do
+      (match acc_of sites.(!i).insn with
+       | Some (ptr, first) when not grouped.(!i) ->
+         let accs = ref [ first ] in
+         let j = ref (!i + 1) in
+         let continue = ref true in
+         while !continue && !j < n && !j - !i < 4 do
+           match acc_of sites.(!j).insn with
+           | Some (p, a)
+             when p = ptr && (not (is_target sites.(!j).addr)) && not grouped.(!j) ->
+             (* A load that overwrites the pointer pair ends the run. *)
+             let clobbers =
+               match a with
+               | Trampoline.Load (rd, _) -> rd = ptr || rd = ptr + 1
+               | Trampoline.Store _ -> false
+             in
+             if clobbers then continue := false
+             else begin
+               accs := a :: !accs;
+               incr j
+             end
+           | _ -> continue := false
+         done;
+         let accesses = List.rev !accs in
+         (if List.length accesses > 1 then begin
+            incr access_runs;
+            sites.(!i).patch <-
+              Jmp_to (Trampoline.Indirect_grp ({ ptr; mode = Plain; accesses }, -1));
+            mark !i;
+            for k = !i + 1 to !j - 1 do
+              mark k;
+              sites.(k).patch <- Skip
+            done
+          end);
+         i := !j
+       | _ -> incr i)
+    done
+  end;
+  (* --- per-instruction classification ---------------------------------- *)
+  Array.iteri
+    (fun idx s ->
+      if not grouped.(idx) then
+        match s.insn with
+        | Break -> s.patch <- Inline (Syscall Kcells.sys_exit)
+        | Sleep -> s.patch <- Jmp_to (Trampoline.Yield (-1))
+        | Brbs (bit, k) ->
+          let tgt = s.addr + s.size + k in
+          if tgt <= s.addr && config.preempt then
+            s.patch <- Jmp_to (Trampoline.Cond_branch (bit, true, tgt, -1))
+          else s.patch <- Cond (bit, true, tgt)
+        | Brbc (bit, k) ->
+          let tgt = s.addr + s.size + k in
+          if tgt <= s.addr && config.preempt then
+            s.patch <- Jmp_to (Trampoline.Cond_branch (bit, false, tgt, -1))
+          else s.patch <- Cond (bit, false, tgt)
+        | Rjmp k ->
+          let tgt = s.addr + s.size + k in
+          if tgt <= s.addr && config.preempt then
+            s.patch <- Jmp_to (Trampoline.Back_jump tgt)
+          else s.patch <- Fwd_rjmp tgt
+        | Rcall k -> s.patch <- Call_to (Trampoline.Call_check (s.addr + s.size + k))
+        | Call a -> s.patch <- Call_to (Trampoline.Call_check a)
+        | Jmp a ->
+          (* Retargeted at emission; backward absolute jumps also count
+             as loop edges for the software trap. *)
+          if a <= s.addr && config.preempt then
+            s.patch <- Jmp_to (Trampoline.Back_jump a)
+          else s.patch <- Fwd_rjmp a
+        | Icall -> s.patch <- Call_to Trampoline.Icall_tr
+        | Ijmp -> s.patch <- Jmp_to Trampoline.Ijmp_tr
+        | Lds (rd, a) ->
+          if a >= Machine.Layout.io_size then begin
+            if a >= heap_end then
+              Rewrite_error.fail
+                (Out_of_heap
+                   { addr = s.addr; insn = Isa.show s.insn; target = a; heap_end });
+            s.patch <- Call_to (Trampoline.Direct (false, rd, a))
+          end
+        | Sts (a, rr) ->
+          if a >= Machine.Layout.io_size then begin
+            if a >= heap_end then
+              Rewrite_error.fail
+                (Out_of_heap
+                   { addr = s.addr; insn = Isa.show s.insn; target = a; heap_end });
+            s.patch <- Call_to (Trampoline.Direct (true, rr, a))
+          end
+        | Ld (rd, p) ->
+          let ptr, mode =
+            match p with
+            | X -> (26, Trampoline.Plain)
+            | X_inc -> (26, Postinc)
+            | X_dec -> (26, Predec)
+            | Y_inc -> (28, Postinc)
+            | Y_dec -> (28, Predec)
+            | Z_inc -> (30, Postinc)
+            | Z_dec -> (30, Predec)
+          in
+          s.patch <-
+            Call_to (Trampoline.Indirect { ptr; mode; accesses = [ Load (rd, 0) ] })
+        | St (p, rr) ->
+          let ptr, mode =
+            match p with
+            | X -> (26, Trampoline.Plain)
+            | X_inc -> (26, Postinc)
+            | X_dec -> (26, Predec)
+            | Y_inc -> (28, Postinc)
+            | Y_dec -> (28, Predec)
+            | Z_inc -> (30, Postinc)
+            | Z_dec -> (30, Predec)
+          in
+          s.patch <-
+            Call_to (Trampoline.Indirect { ptr; mode; accesses = [ Store (rr, 0) ] })
+        | Ldd (rd, b, q) ->
+          let ptr = if b = Ybase then 28 else 30 in
+          s.patch <-
+            Call_to (Trampoline.Indirect { ptr; mode = Plain; accesses = [ Load (rd, q) ] })
+        | Std (b, q, rr) ->
+          let ptr = if b = Ybase then 28 else 30 in
+          s.patch <-
+            Call_to (Trampoline.Indirect { ptr; mode = Plain; accesses = [ Store (rr, q) ] })
+        | Push r -> s.patch <- Jmp_to (Trampoline.Push_head (r, check_bucket (1 + Kcells.stack_reserve), -1))
+        | In (rd, p) when p = spl -> s.patch <- Jmp_to (Trampoline.Getsp ([ rd ], -1))
+        | In (rd, p) when p = sph ->
+          (* A lone SPH read: deliver the high byte. *)
+          s.patch <- Jmp_to (Trampoline.Getsp ([ rd; rd ], -1))
+        | Out (p, r) when p = spl -> s.patch <- Jmp_to (Trampoline.Setsp (`Lo, [ r ], -1))
+        | Out (p, r) when p = sph -> s.patch <- Jmp_to (Trampoline.Setsp (`Hi, [ r ], -1))
+        | In (rd, p) when p = tcnt3l ->
+          s.patch <- Jmp_to (Trampoline.Timer3_rd ([ rd ], false, -1))
+        | In (rd, p) when p = tcnt3h ->
+          s.patch <- Jmp_to (Trampoline.Timer3_rd ([ rd ], true, -1))
+        | Out (p, _) when p = tcnt3l || p = tcnt3h ->
+          (* Timer3 belongs to the kernel; writes are dropped. *)
+          s.patch <- Inline Nop
+        | Lpm (rd, inc) ->
+          if has_rodata then s.patch <- Jmp_to (Trampoline.Lpm_tr (rd, inc, 0, -1))
+        | Nop | Movw _ | Add _ | Adc _ | Sub _ | Sbc _ | And _ | Or _ | Eor _
+        | Mov _ | Cp _ | Cpc _ | Mul _ | Cpi _ | Sbci _ | Subi _ | Ori _
+        | Andi _ | Ldi _ | Adiw _ | Sbiw _ | Com _ | Neg _ | Swap _ | Inc _
+        | Dec _ | Asr _ | Lsr _ | Ror _ | Pop _ | In _ | Out _ | Ret | Reti
+        | Bset _ | Bclr _ | Wdr | Syscall _ -> ())
+    sites;
+  let diags =
+    if !sp_pairs + !push_runs + !access_runs = 0 then []
+    else
+      [ Diagnostic.make Transform Info "grouping"
+          "grouped %d SP/timer pair%s, %d push run%s, %d access run%s"
+          !sp_pairs (if !sp_pairs = 1 then "" else "s")
+          !push_runs (if !push_runs = 1 then "" else "s")
+          !access_runs (if !access_runs = 1 then "" else "s") ]
+  in
+  (sites, diags)

@@ -275,6 +275,20 @@ let collect ?(window = 2_000_000) () : Trace.t =
   let fleet_snap = Snapshot.to_string (Snapshot.of_net fleet) in
   Trace.set_counter trace "host.fleet_snapshot_bytes_per_mote"
     (String.length fleet_snap / fleet_motes);
+  (* Rewriting pipeline over the fixture firmware set (lib/loader):
+     avr-gcc-shaped images re-loaded from their Intel-HEX bytes,
+     symbol-less — what a base station actually ingests.  The summed
+     "rewrite.*" counters are deterministic and machine-independent;
+     scripts/bench_diff.sh gates the key set and treats
+     rewrite.bytes_inflated_permille as lower-is-better (Figure 4's
+     inflation axis). *)
+  let rewrite_reports =
+    List.map
+      (fun f ->
+        snd (Rewriter.Rewrite.pipeline ~base:0 (Loader.Firmware.load_hex f)))
+      (Loader.Firmware.all ())
+  in
+  Rewriter.Report.publish trace rewrite_reports;
   host_throughput trace;
   Trace.set_counter trace "host.wall_ms"
     (int_of_float ((Unix.gettimeofday () -. started) *. 1000.0));

@@ -17,6 +17,16 @@
 #                    engine-bound spin) is a REGRESSION -> exit 1.
 #   host.*           everything else host-side (wall clock) is
 #                    informational; it depends on machine load.
+#   rewrite.bytes_inflated_permille
+#                    size gate, lower is better: the rewriting
+#                    pipeline's code inflation over the fixture
+#                    firmware set (Figure 4's axis, in permille of
+#                    native size).  Growth beyond the threshold is a
+#                    REGRESSION -> exit 1; any other change warns like
+#                    a simulated counter.  The rest of the rewrite.*
+#                    family (blocks recovered, trampolines merged,
+#                    shift entries, ...) is deterministic and covered
+#                    by the key-set and drift rules below.
 #   service.stolen / service.running
 #                    scheduling-dependent by design (steal counts vary
 #                    with worker timing): informational.  The rest of
@@ -120,6 +130,18 @@ END {
                 }
             } else {
                 printf "info        %s: %d -> %d\n", k, b, c
+            }
+        } else if (k == "rewrite.bytes_inflated_permille") {
+            if (b > 0) {
+                delta = (c - b) * 100.0 / b
+                if (delta > thresh) {
+                    printf "REGRESSION  %s: %d -> %d (%+.1f%%, threshold +%s%%; code inflation grew)\n", k, b, c, delta, thresh
+                    status = 1
+                } else if (b != c) {
+                    printf "WARNING     %s: %d -> %d (%+.1f%%; inflation changed — fine if lower, refresh the baseline)\n", k, b, c, delta
+                } else {
+                    printf "ok          %s: %d (code inflation unchanged)\n", k, c
+                }
             }
         } else if (k ~ /^service\.(stolen|running)$/) {
             printf "info        %s: %d -> %d (scheduling-dependent)\n", k, b, c

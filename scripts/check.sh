@@ -35,6 +35,12 @@ dune exec test/test_net.exe -- test domains
 # the suite; this run keeps the CLI path itself exercised in CI).
 dune exec bin/sensmart_cli.exe -- attack --trials 1 --report > /dev/null
 
+# Rewriting-pipeline smoke: the fixture firmware set (avr-gcc-shaped
+# Intel-HEX, loaded symbol-less) must rewrite cleanly and emit the
+# machine-readable report (schema sensmart.rewrite.report/1; the same
+# numbers land in the committed baseline as rewrite.* counters).
+dune exec bin/sensmart_cli.exe -- rewrite --report > /dev/null
+
 # Campaign-service smoke: a short seeded load test through the CLI
 # serve path must drain cleanly (serve exits nonzero iff any job
 # failed, so the exit code is the gate).

@@ -138,6 +138,141 @@ let entry_is_naturalized () =
     (Rewriter.Shift_table.to_naturalized nat.shift img.entry)
     nat.entry
 
+(* --- pipeline: typed errors, diagnostics, report --------------------- *)
+
+(* A bare image from raw instruction words — what a foreign, symbol-less
+   firmware looks like to the pipeline. *)
+let raw_image ?(data_size = 16) name insns =
+  let words = Avr.Encode.program insns in
+  { Asm.Image.name;
+    words;
+    text_words = Array.length words;
+    symbols = [];
+    data_size;
+    data_init = [];
+    entry = 0 }
+
+let out_of_heap_is_typed () =
+  (* A store past the task's declared heap must fail with the typed
+     variant carrying the source word address, not a formatted string. *)
+  let prog =
+    Asm.Ast.program "wild"
+      ~data:[ { dname = "v"; size = 2; init = [] } ]
+      ((lbl "start" :: sp_init) @ [ sts_off "v" 0x50 16; break ])
+  in
+  let img = assemble prog in
+  let sts_addr =
+    match
+      List.find_opt
+        (fun (_, i) -> match i with Avr.Isa.Sts (0x150, _) -> true | _ -> false)
+        (Avr.Decode.program (Array.sub img.words 0 img.text_words))
+    with
+    | Some (a, _) -> a
+    | None -> Alcotest.fail "no wild store in the image"
+  in
+  match Rewriter.Rewrite.run ~base:0 img with
+  | _ -> Alcotest.fail "wild store rewrote"
+  | exception Rewriter.Rewrite.Error (Out_of_heap e) ->
+    Alcotest.(check int) "source address" sts_addr e.addr;
+    Alcotest.(check int) "target" 0x150 e.target;
+    Alcotest.(check int) "heap end" 0x102 e.heap_end
+
+let misaligned_reachable_raises () =
+  (* JMP into the middle of a 32-bit instruction: there is no
+     naturalized address for word 3, and the branch will be taken. *)
+  let img =
+    raw_image "mid" [ Avr.Isa.Jmp 3; Sts (0x100, 16); Break ]
+  in
+  match Rewriter.Rewrite.pipeline ~base:0 img with
+  | _ -> Alcotest.fail "misaligned reachable branch rewrote"
+  | exception Rewriter.Rewrite.Error (Misaligned_target e) ->
+    Alcotest.(check int) "source" 0 e.addr;
+    Alcotest.(check int) "target" 3 e.target
+
+let misaligned_unreachable_flagged () =
+  (* The same defect in dead code must not block the rewrite — it is
+     downgraded to an Error-severity diagnostic on the report. *)
+  let img =
+    raw_image "deadmid"
+      [ Avr.Isa.Jmp 6; Jmp 7; Nop; Nop; Sts (0x100, 16); Break ]
+  in
+  let _nat, report = Rewriter.Rewrite.pipeline ~base:0 img in
+  Alcotest.(check int) "unrelocatable terms" 1 report.unrelocatable_terms;
+  Alcotest.(check bool) "redirection error diagnostic" true
+    (List.exists
+       (fun (d : Rewriter.Diagnostic.t) ->
+         d.stage = Redirection && d.severity = Error && d.addr = Some 2)
+       report.diagnostics)
+
+let conservative_recovery_flagged () =
+  (* Computed jumps without symbols force every instruction start to be
+     a potential target; with symbols the same code recovers blocks. *)
+  let bare =
+    raw_image "icall" [ Avr.Isa.Ldi (30, 2); Ldi (31, 0); Icall; Break ]
+  in
+  let _, bare_report = Rewriter.Rewrite.pipeline ~base:0 bare in
+  Alcotest.(check bool) "symbol-less goes conservative" true
+    bare_report.conservative;
+  Alcotest.(check bool) "warning diagnostic" true
+    (List.exists
+       (fun (d : Rewriter.Diagnostic.t) ->
+         d.stage = Recovery && d.severity = Warning && d.kind = "conservative")
+       bare_report.diagnostics);
+  let symbolic = { bare with symbols = [ ("f", Asm.Image.Text 2) ] } in
+  let _, sym_report = Rewriter.Rewrite.pipeline ~base:0 symbolic in
+  Alcotest.(check bool) "symbols avoid the fallback" false sym_report.conservative
+
+let report_accounting () =
+  let img = assemble sum_prog in
+  let nat, report = Rewriter.Rewrite.pipeline ~base:0 img in
+  Alcotest.(check int) "native" (Asm.Image.total_bytes img) report.native_bytes;
+  Alcotest.(check int) "total" (Rewriter.Naturalized.total_bytes nat)
+    report.total_bytes;
+  Alcotest.(check int) "segments sum to total" report.total_bytes
+    (report.rewritten_text_bytes + report.rodata_bytes + report.support_bytes);
+  Alcotest.(check int) "inflated = total - native"
+    (report.total_bytes - report.native_bytes)
+    report.bytes_inflated;
+  Alcotest.(check int) "shift entries" nat.stats.shift_entries
+    report.shift_entries;
+  Alcotest.(check bool) "every insn reachable here" true
+    (report.unreachable_insns = 0 && not report.conservative);
+  (* The block mapping must agree with the shift table on every start. *)
+  Array.iter
+    (fun (o, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "mapping 0x%04x" o)
+        (Rewriter.Shift_table.to_naturalized nat.shift o)
+        n)
+    report.mapping
+
+let report_json_wellformed () =
+  let img = assemble sum_prog in
+  let _, report = Rewriter.Rewrite.pipeline ~base:0 img in
+  let json = Rewriter.Report.to_json report in
+  (* The trace layer ships a small JSON reader; it must accept the
+     report (object shape only — nested values come back verbatim). *)
+  Alcotest.(check bool) "starts as an object" true (json.[0] = '{');
+  Alcotest.(check bool) "schema tagged" true
+    (let tag = {|"schema":"sensmart.rewrite.report/1"|} in
+     let rec find i =
+       i + String.length tag <= String.length json
+       && (String.sub json i (String.length tag) = tag || find (i + 1))
+     in
+     find 0)
+
+let run_via_pipeline_identical () =
+  (* Rewrite.run is the pipeline minus the report: same bytes out. *)
+  List.iter
+    (fun (img : Asm.Image.t) ->
+      let plain = Rewriter.Rewrite.run ~base:0 img in
+      let piped, _ = Rewriter.Rewrite.pipeline ~base:0 img in
+      Alcotest.(check bool) (img.name ^ ": words") true
+        (plain.words = piped.words))
+    (List.filter_map
+       (fun n -> Workloads.Registry.find_image n)
+       [ "sense"; "blink"; "tree" ])
+
 let () =
   Alcotest.run "rewriter"
     [ ("shift table",
@@ -151,4 +286,15 @@ let () =
          Alcotest.test_case "grouping ablation" `Quick ablation_grouping_smaller;
          Alcotest.test_case "naturalized decodes" `Quick naturalized_decodes;
          Alcotest.test_case "forward-branch island" `Quick forward_branch_island;
-         Alcotest.test_case "entry mapping" `Quick entry_is_naturalized ]) ]
+         Alcotest.test_case "entry mapping" `Quick entry_is_naturalized ]);
+      ("pipeline",
+       [ Alcotest.test_case "out-of-heap is typed" `Quick out_of_heap_is_typed;
+         Alcotest.test_case "misaligned reachable raises" `Quick
+           misaligned_reachable_raises;
+         Alcotest.test_case "misaligned unreachable flagged" `Quick
+           misaligned_unreachable_flagged;
+         Alcotest.test_case "conservative recovery" `Quick
+           conservative_recovery_flagged;
+         Alcotest.test_case "report accounting" `Quick report_accounting;
+         Alcotest.test_case "report json" `Quick report_json_wellformed;
+         Alcotest.test_case "run = pipeline" `Quick run_via_pipeline_identical ]) ]

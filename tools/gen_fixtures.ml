@@ -1,0 +1,22 @@
+(* Regenerate the checked-in firmware fixtures under test/fixtures/.
+
+   The fixture bytes are a function of Loader.Firmware alone, so this
+   tool is deterministic; test_loader's "regeneration" cases fail if
+   the checked-in files drift from what it writes.  Usage:
+
+     dune exec tools/gen_fixtures.exe [DIR]   # default test/fixtures *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/fixtures" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (f : Loader.Firmware.t) ->
+      let write ext contents =
+        let path = Filename.concat dir (f.name ^ ext) in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc contents);
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+      in
+      write ".hex" f.hex;
+      write ".elf" f.elf)
+    (Loader.Firmware.all ())
